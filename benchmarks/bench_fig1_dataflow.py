@@ -1,0 +1,74 @@
+"""FIG1 — the infrastructure components and data flows of Figure 1.
+
+Figure 1 draws the path a user interaction takes: portal → Resource
+Broker (over WebSockets) → a Model Library image running as a cloud
+instance → WPS model execution → results back to the browser.  The
+bench replays the full LEFT storyboard journey and reports the latency
+of each hop, asserting the flow actually traverses every component.
+"""
+
+from benchmarks.harness import once, print_table
+from repro.core import Evop, EvopConfig
+from repro.portal import UserJourney
+
+
+def run_journey():
+    evop = Evop(EvopConfig(truth_days=6, storm_day=3, seed=11)).bootstrap()
+    evop.left().start_feeds(until=evop.sim.now + 12 * 3600.0)
+    evop.run_for(6 * 3600.0)
+
+    journey = UserJourney(evop.sim, evop.left(), "fig1-user",
+                          scenario="storage_ponds")
+    done = journey.start()
+    evop.run_for(1200.0)
+    log = done.value
+
+    service = evop.lb.service("left-morland")
+    return {
+        "log": log,
+        "ws_connections": evop.rb.gateway.metrics.gauge("connections").peak,
+        "replicas": len(service.serving()),
+        "registry_entries": len(evop.registry.all()),
+        "network_requests": evop.network.total_requests,
+        "library_models": len(evop.library.list()),
+        "warehouse_datasets": len(evop.warehouse.list()),
+    }
+
+
+def test_fig1_end_to_end_dataflow(benchmark):
+    result = once(benchmark, run_journey)
+    log = result["log"]
+
+    print_table(
+        "Fig. 1 - user journey through the infrastructure (one hop per row)",
+        ["step", "duration s", "detail"],
+        [[step.name, step.duration, str(step.detail)[:60]]
+         for step in log.steps])
+    print_table(
+        "Fig. 1 - components traversed",
+        ["component", "evidence"],
+        [["Web portal", f"{log.step('landing_map').detail['markers']} map markers"],
+         ["Resource Broker (WebSocket)",
+          f"{result['ws_connections']:.0f} push connections"],
+         ["Load Balancer", f"{result['replicas']} managed replicas"],
+         ["Model Library", f"{result['library_models']} published models"],
+         ["Cloud instance (WPS)",
+          f"session on {log.step('open_modelling_widget').detail['instance']}"],
+         ["Data warehouse", f"{result['warehouse_datasets']} datasets"],
+         ["Service registry", f"{result['registry_entries']} records"]])
+
+    assert log.completed
+    # every Figure-1 component took part
+    assert log.step("landing_map").detail["markers"] == 6
+    assert result["ws_connections"] >= 1
+    assert result["replicas"] >= 1
+    assert result["library_models"] == 3   # TOPMODEL + FUSE + water quality
+    assert result["warehouse_datasets"] == 2
+    assert result["network_requests"] >= 3         # load + 2 runs
+    # interactive steps feel instant; model runs take seconds, not minutes
+    assert log.step("landing_map").duration < 1.0
+    for step in ("baseline_run", "scenario_run"):
+        assert 0.1 < log.step(step).duration < 60.0
+    # the scenario exploration changed the answer
+    assert log.step("scenario_run").detail["peak"] != \
+        log.step("baseline_run").detail["peak"]

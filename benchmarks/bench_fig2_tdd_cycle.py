@@ -1,0 +1,90 @@
+"""FIG2 — the test-driven development cycle and its cadences.
+
+Figure 2 shows the Agile TDD cycle: verification cycles at the end of
+each development iteration ("usually takes between a day to a week"),
+validation "within the wider project consortium (every 1-2 months or
+so) and with the stakeholders through evaluation workshops (once or
+twice a year)".  The bench simulates the two-year pilot with those
+cadences and reproduces the cadence table plus the artefact pipeline.
+"""
+
+from benchmarks.harness import once, print_table
+from repro.engagement import CyclePhase, DevelopmentProcess, Workshop
+from repro.engagement.stakeholders import TARGET_GROUPS, simulate_workshop_feedback
+from repro.sim import RandomStreams
+
+PROJECT_DAYS = 730  # the two-year pilot
+
+
+def run_project():
+    rng = RandomStreams(21).get("tdd")
+    process = DevelopmentProcess()
+    artefact_titles = [
+        "interactive asset map", "sensor time-series widget",
+        "multimodal webcam widget", "modelling widget",
+        "scenario buttons + sliders", "comparison view",
+    ]
+    backlog = [process.new_artefact(title, "LEFT")
+               for title in artefact_titles]
+    workshops = []
+    next_workshop = 180.0
+
+    while process.day < PROJECT_DAYS and backlog:
+        artefact = backlog[0]
+        # a handful of verification cycles per artefact (1-7 days each)
+        for _cycle in range(rng.randint(2, 4)):
+            process.run_verification(artefact, rng.uniform(1.0, 7.0))
+        # then a consortium validation cycle (30-60 days), which
+        # occasionally bounces the artefact back
+        passed = rng.random() > 0.25
+        process.run_validation(artefact, rng.uniform(30.0, 60.0),
+                               passed=passed,
+                               feedback="stakeholder feedback")
+        if passed:
+            backlog.pop(0)
+        else:
+            process.run_verification(artefact, rng.uniform(1.0, 7.0))
+            process.run_validation(artefact, rng.uniform(30.0, 60.0),
+                                   passed=True, feedback="second pass")
+            backlog.pop(0)
+        # stakeholder evaluation workshops roughly twice a year
+        if process.day >= next_workshop:
+            workshop = Workshop.new("morland", process.day, attendees={
+                "farmers": 12, "public": 8, "policy": 4, "scientists": 3})
+            simulate_workshop_feedback(workshop, TARGET_GROUPS,
+                                       streams=RandomStreams(int(process.day)))
+            workshops.append(workshop)
+            next_workshop += 180.0
+    return process, workshops
+
+
+def test_fig2_tdd_cadences(benchmark):
+    process, workshops = once(benchmark, run_project)
+
+    verification = process.cycles_of(CyclePhase.VERIFICATION)
+    validation = process.cycles_of(CyclePhase.VALIDATION)
+    print_table(
+        "Fig. 2 - quality-cycle cadence over the two-year pilot",
+        ["cycle kind", "count", "mean days", "min days", "max days"],
+        [["verification", len(verification),
+          process.mean_cycle_days(CyclePhase.VERIFICATION),
+          min(c.duration_days for c in verification),
+          max(c.duration_days for c in verification)],
+         ["validation", len(validation),
+          process.mean_cycle_days(CyclePhase.VALIDATION),
+          min(c.duration_days for c in validation),
+          max(c.duration_days for c in validation)],
+         ["evaluation workshops", len(workshops),
+          PROJECT_DAYS / max(1, len(workshops)), "-", "-"]])
+
+    # the paper's cadences: verification 1-7 days, validation 1-2 months,
+    # workshops once or twice a year
+    assert all(1.0 <= c.duration_days <= 7.0 for c in verification)
+    assert all(30.0 <= c.duration_days <= 60.0 for c in validation)
+    assert len(verification) > 2 * len(validation)
+    years = PROJECT_DAYS / 365.0
+    assert 1.0 <= len(workshops) / years <= 2.5
+
+    # every artefact made it through the pipeline within the project
+    assert len(process.validated_artefacts()) == 6
+    assert process.day <= PROJECT_DAYS + 60.0

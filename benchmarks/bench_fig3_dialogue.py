@@ -1,0 +1,89 @@
+"""FIG3 — bidirectional researcher↔stakeholder dialogue.
+
+Figure 3 draws validation as a two-way dialogue: researchers demonstrate
+and educate; stakeholders validate, correct and redirect.  Section VII
+adds the productivity claim: "Our development cycles were much more
+productive after the first two stakeholder meetings where the
+intricacies of the used prediction models and data were explained".
+
+The bench runs the same backlog through a dialogue-rich process and a
+one-way (broadcast-only) process and compares both the dialogue balance
+and the rework rate.
+"""
+
+from benchmarks.harness import once, print_table
+from repro.engagement import DevelopmentProcess
+from repro.sim import RandomStreams
+
+
+def run_process(bidirectional: bool):
+    rng = RandomStreams(33).get(f"dialogue.{bidirectional}")
+    process = DevelopmentProcess()
+    rework = 0
+    validations = 0
+    for index in range(8):
+        artefact = process.new_artefact(f"feature-{index}", "LEFT")
+        process.run_verification(artefact, rng.uniform(1.0, 5.0))
+        # with a real dialogue the team learns what stakeholders mean,
+        # so validation passes far more often; broadcast-only teams keep
+        # guessing and get bounced
+        education = 0.0 if not bidirectional else min(1.0, index / 3.0)
+        pass_probability = 0.35 + 0.55 * education
+        attempts = 0
+        while True:
+            attempts += 1
+            validations += 1
+            passed = rng.random() < pass_probability
+            process.run_validation(artefact, rng.uniform(30.0, 45.0),
+                                   passed=passed,
+                                   feedback="stakeholder feedback"
+                                   if bidirectional else "")
+            if passed:
+                break
+            rework += 1
+            process.run_verification(artefact, rng.uniform(1.0, 5.0))
+            if not bidirectional:
+                # no feedback loop: the next attempt is another guess
+                continue
+            # the failed validation itself educated the team
+            pass_probability = min(0.95, pass_probability + 0.3)
+    return {
+        "process": process,
+        "rework": rework,
+        "validations": validations,
+        "days": process.day,
+    }
+
+
+def test_fig3_dialogue_balance_and_productivity(benchmark):
+    results = once(benchmark, lambda: {
+        "bidirectional": run_process(True),
+        "broadcast-only": run_process(False)})
+
+    rows = []
+    for mode, r in results.items():
+        balance = r["process"].dialogue_balance()
+        rows.append([
+            mode,
+            balance.get("researchers->stakeholders", 0),
+            balance.get("stakeholders->researchers", 0),
+            r["rework"],
+            r["days"],
+        ])
+    print_table(
+        "Fig. 3 - dialogue direction counts and their effect on rework",
+        ["process", "researcher->stakeholder", "stakeholder->researcher",
+         "rework cycles", "calendar days"],
+        rows)
+
+    two_way = results["bidirectional"]
+    one_way = results["broadcast-only"]
+    balance = two_way["process"].dialogue_balance()
+    # Figure 3's arrows: both directions carry real traffic
+    assert balance["researchers->stakeholders"] > 0
+    assert balance["stakeholders->researchers"] > 0
+    # Section VII's claim: the educated, two-way process reworks less and
+    # ships the same backlog sooner
+    assert two_way["rework"] < one_way["rework"]
+    assert two_way["days"] < one_way["days"]
+    assert len(two_way["process"].validated_artefacts()) == 8

@@ -1,0 +1,90 @@
+"""FIG4 — the interactive asset map of the LEFT landing page.
+
+Figure 4 shows the mapping backdrop with "datasets (both static and
+live) and other assets (such as webcam feeds) ... overlaid on the map as
+geotagged markers.  This provides users with the ability to instantly
+identify assets of interest based on geographical location."
+
+The bench measures the map's query layer: bounding-box queries over a
+growing national catalogue (instant identification must stay instant),
+marker→widget dispatch, and catchment filtering.
+"""
+
+import random
+
+from benchmarks.harness import print_table
+from repro.data import AssetCatalog, AssetOrigin, BoundingBox, STUDY_CATCHMENTS
+from repro.portal import MapView
+from repro.portal.basemap import WIDGET_FOR_KIND
+
+
+def build_catalog(n_assets: int) -> AssetCatalog:
+    rng = random.Random(5)
+    catalog = AssetCatalog()
+    kinds = ["sensor-feed", "webcam", "dataset", "model"]
+    catchments = list(STUDY_CATCHMENTS)
+    for i in range(n_assets):
+        catchment = STUDY_CATCHMENTS[rng.choice(catchments)]
+        catalog.add(
+            name=f"asset-{i}",
+            kind=rng.choice(kinds),
+            origin=rng.choice(list(AssetOrigin)),
+            latitude=catchment.latitude + rng.uniform(-0.2, 0.2),
+            longitude=catchment.longitude + rng.uniform(-0.2, 0.2),
+            catchment=catchment.name,
+        )
+    return catalog
+
+
+def test_fig4_bbox_query_speed(benchmark):
+    """One landing-page render = one bbox query; timed for real."""
+    catalog = build_catalog(5000)
+    morland = STUDY_CATCHMENTS["morland"]
+    viewport = MapView.catchment_viewport(morland.latitude, morland.longitude)
+    view = MapView(catalog, viewport)
+
+    markers = benchmark(view.markers)
+    print_table(
+        "Fig. 4 - landing-page map over a 5000-asset national catalogue",
+        ["metric", "value"],
+        [["assets in catalogue", len(catalog)],
+         ["markers in the Morland viewport", len(markers)],
+         ["distinct widget types", len({m.widget for m in markers})]])
+    assert 0 < len(markers) < len(catalog)
+    # every marker knows which widget a click opens
+    assert all(m.widget in set(WIDGET_FOR_KIND.values()) | {"details"}
+               for m in markers)
+
+
+def test_fig4_marker_semantics(benchmark):
+    def run():
+        catalog = build_catalog(800)
+        morland = STUDY_CATCHMENTS["morland"]
+        view = MapView(catalog, MapView.catchment_viewport(
+            morland.latitude, morland.longitude, half_degrees=0.3))
+        all_markers = view.markers()
+        webcam_markers = view.markers(kind="webcam")
+        # panning to Tarland shows a different asset set
+        tarland = STUDY_CATCHMENTS["tarland"]
+        panned = view.pan_to(MapView.catchment_viewport(
+            tarland.latitude, tarland.longitude, half_degrees=0.3))
+        return {
+            "all": all_markers,
+            "webcams": webcam_markers,
+            "tarland": panned.markers(),
+            "opened": view.open(all_markers[0]),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Fig. 4 - marker filtering and panning",
+        ["query", "markers"],
+        [["Morland viewport (all kinds)", len(result["all"])],
+         ["Morland viewport (webcams only)", len(result["webcams"])],
+         ["after panning to Tarland", len(result["tarland"])]])
+    assert 0 < len(result["webcams"]) < len(result["all"])
+    assert all(m.widget == "webcam" for m in result["webcams"])
+    morland_ids = {m.asset_id for m in result["all"]}
+    tarland_ids = {m.asset_id for m in result["tarland"]}
+    assert not morland_ids & tarland_ids  # 300km apart: disjoint viewports
+    assert result["opened"].asset_id == result["all"][0].asset_id

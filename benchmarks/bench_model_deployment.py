@@ -1,0 +1,114 @@
+"""IMG — streamlined bundles versus incubator provisioning (IV-D, VI).
+
+Figure 1's Model Library offers two execution-unit paths: pre-baked
+streamlined bundles ("a VM image optimised to run a fine tuned set of
+models ... equipped with all required data") and generic incubators onto
+which experimental models are installed post-boot — which "has some
+effect on execution performance when compared to a streamlined execution
+unit, but is a useful testing ground".
+
+The bench deploys both paths end-to-end and reports the timing split
+(boot / provision / first run), plus the steady-state per-run cost over
+a batch — the axis on which the trade-off flips.
+"""
+
+from benchmarks.harness import once, print_table
+from repro.cloud import ImageStore, Job, MultiCloud, OpenStackCloud
+from repro.data import STUDY_CATCHMENTS
+from repro.modellib import ModelDeployer, ModelLibrary, make_topmodel_process
+from repro.sim import RandomStreams, Simulator
+
+RUN_COST = 8.0       # CPU-seconds per model run
+BATCH = 50           # steady-state runs after deployment
+
+
+def run_deployments():
+    sim = Simulator()
+    streams = RandomStreams(19)
+    cloud = OpenStackCloud(sim, total_vcpus=16, streams=streams)
+    multi = MultiCloud()
+    multi.register_compute("private", cloud)
+    library = ModelLibrary(ImageStore())
+    morland = STUDY_CATCHMENTS["morland"]
+    library.publish_streamlined("bundle", morland, make_topmodel_process,
+                                bundle_size_gb=6.0)
+    library.publish_experimental("incubated", morland, make_topmodel_process,
+                                 install_minutes=8.0)
+    deployer = ModelDeployer(sim, multi, library)
+    reports = {}
+    for name in ("bundle", "incubated"):
+        done = deployer.deploy(name, first_run_cost=RUN_COST)
+        sim.run()
+        reports[name] = done.value
+
+    # steady state: a batch of model runs on each deployed instance
+    batch_times = {}
+    for name, report in reports.items():
+        start = sim.now
+        signals = [report.instance.submit(Job(cost=RUN_COST))
+                   for _ in range(BATCH)]
+        sim.run()
+        batch_times[name] = sim.now - start
+    return reports, batch_times
+
+
+def test_model_deployment_paths(benchmark):
+    reports, batch_times = once(benchmark, run_deployments)
+
+    rows = []
+    for name, report in reports.items():
+        rows.append([
+            f"{name} ({report.path})",
+            report.boot_seconds,
+            report.provision_seconds,
+            report.run_seconds,
+            report.time_to_first_result,
+            batch_times[name] / BATCH,
+        ])
+    print_table(
+        "Model Library deployment paths - launch to first result, then "
+        f"steady-state batch of {BATCH} runs",
+        ["path", "boot s", "provision s", "first run s",
+         "time to first result s", "steady-state s/run"],
+        rows)
+
+    bundle = reports["bundle"]
+    incubated = reports["incubated"]
+    # the bigger bundle image boots slower but needs zero provisioning
+    assert bundle.boot_seconds > incubated.boot_seconds
+    assert bundle.provision_seconds == 0.0
+    assert incubated.provision_seconds > 120.0
+    # the fine-tuned bundle runs faster per execution...
+    assert bundle.run_seconds < incubated.run_seconds
+    assert batch_times["bundle"] < batch_times["incubated"]
+    # ...and in this configuration also reaches the first result sooner
+    assert bundle.time_to_first_result < incubated.time_to_first_result
+    # the per-run gap matches the speed factors (1.25 vs 0.8)
+    ratio = batch_times["incubated"] / batch_times["bundle"]
+    assert 1.3 < ratio < 1.8
+
+
+def test_bundle_update_rebake(benchmark):
+    """Updating a bundle with more data is a rebake, not a mutation."""
+
+    def run():
+        library = ModelLibrary(ImageStore())
+        morland = STUDY_CATCHMENTS["morland"]
+        library.publish_streamlined("bundle", morland, make_topmodel_process,
+                                    bundle_size_gb=6.0)
+        first = library.image_for("bundle")
+        updated = library.update_bundle(
+            "bundle", extra_dataset_ids=("morland/2013-floods",),
+            size_increase_gb=1.5)
+        return first, updated, library.images.lineage(updated.image_id)
+
+    first, updated, lineage = once(benchmark, run)
+    print_table("Model Library image update (rebake)",
+                ["generation", "image id", "size GB", "datasets"],
+                [[img.generation, img.image_id, img.size_gb,
+                  len(img.bundled_datasets)] for img in reversed(lineage)])
+    assert updated.generation == first.generation + 1
+    assert updated.parent_id == first.image_id
+    assert updated.size_gb > first.size_gb
+    assert "morland/2013-floods" in updated.bundled_datasets
+    assert first.bundled_datasets != updated.bundled_datasets

@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench reproduces one figure or quantified claim of the paper (see
+DESIGN.md's experiment index).  Benches run the experiment once under
+``benchmark.pedantic`` (the discrete-event simulations are deterministic,
+so repetition buys nothing), print the table/series the paper reports,
+and assert the *shape* — who wins, roughly by how much, where crossovers
+fall.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence]) -> None:
+    """Print an aligned table (visible with ``pytest -s``)."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

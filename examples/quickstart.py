@@ -1,0 +1,46 @@
+"""Quickstart: boot EVOp, run a flood model in the cloud, plot the result.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Evop, EvopConfig
+
+
+def main() -> None:
+    # A small deployment: the Morland catchment, private-first scheduling.
+    evop = Evop(EvopConfig(truth_days=10, storm_day=5)).bootstrap()
+    evop.run_for(600.0)  # let the WPS replicas boot
+    print("instances by location:", evop.instances_by_location())
+
+    # A villager opens the LEFT modelling widget; the Resource Broker
+    # assigns their session to a cloud instance over a WebSocket.
+    widget = evop.left().open_modelling_widget("alice")
+    evop.run_for(10.0)
+    print("session assigned to:", widget.session.instance_address)
+
+    widget.load()
+    evop.run_for(10.0)
+    print("sliders:", {name: (s.minimum, s.maximum)
+                       for name, s in widget.sliders.items()})
+
+    # Run the baseline scenario, then the soil-compaction one.
+    for scenario in ("baseline", "compaction"):
+        widget.select_scenario(scenario)
+        run_signal = widget.run(duration_hours=96)
+        evop.run_for(120.0)
+        run = run_signal.value
+        print(f"{scenario:12s} peak={run.outputs['peak_mm_h']:.2f} mm/h  "
+              f"exceeds threshold: {run.outputs['threshold_exceeded']}  "
+              f"(round trip {run.round_trip:.1f}s)")
+
+    print()
+    print(widget.comparison_chart().to_ascii())
+    print()
+    print("cost so far:", {k: f"${v:.3f}" for k, v in
+                           evop.cost_report().items()})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro — a reproduction of the Environmental Virtual Observatory pilot.
+
+Reproduces "Widening the Circle of Engagement Around Environmental
+Issues using Cloud-based Tools" (Elkhatib et al., ICDCS 2019) as a
+simulated-but-complete system: hybrid cloud substrate, XaaS/REST/OGC
+service fabric, Resource Broker and Load Balancer, the Model Library,
+TOPMODEL and FUSE hydrology, the data/portal layers, workflow
+composition and the participatory-design process.
+
+Quickstart::
+
+    from repro import Evop
+
+    evop = Evop().bootstrap()
+    evop.run_for(600)                       # let the services boot
+    widget = evop.left().open_modelling_widget("alice")
+    evop.run_for(10)
+    widget.load(); evop.run_for(10)
+    run = widget.run(); evop.run_for(120)
+    print(run.value.outputs["peak_mm_h"])
+"""
+
+from repro.core import Evop, EvopConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["Evop", "EvopConfig", "__version__"]

@@ -1,0 +1,43 @@
+"""``python -m repro`` — a two-minute tour of the observatory.
+
+Boots a deployment, runs the LEFT scenarios, prints the comparison, and
+shows the cloudburst counters.  The full demonstrations live in
+``examples/``.
+"""
+
+from repro import Evop, EvopConfig
+
+
+def main() -> None:
+    print("repro - the Environmental Virtual Observatory pilot, reproduced")
+    print("booting the hybrid cloud deployment...")
+    evop = Evop(EvopConfig(truth_days=8, storm_day=4)).bootstrap()
+    evop.run_for(600.0)
+    print(f"  instances: {evop.instances_by_location()}")
+    print(f"  services:  {[s.name for s in evop.lb.services()]}")
+    print(f"  models:    {[e.name for e in evop.library.list()]}")
+
+    print("\nopening the LEFT modelling widget as 'demo-user'...")
+    widget = evop.left().open_modelling_widget("demo-user")
+    evop.run_for(10.0)
+    widget.load()
+    evop.run_for(10.0)
+
+    for scenario in widget.scenario_buttons:
+        widget.select_scenario(scenario)
+        signal = widget.run(duration_hours=96)
+        evop.run_for(200.0)
+        run = signal.value
+        marker = " <- floods!" if run.outputs["threshold_exceeded"] else ""
+        print(f"  {scenario:16s} peak {run.outputs['peak_mm_h']:5.2f} mm/h"
+              f"{marker}")
+
+    print()
+    print(widget.comparison_chart().to_ascii(width=64, height=10))
+    cost = evop.cost_report()
+    print(f"\ntotal simulated cloud cost: ${cost['total']:.3f}")
+    print("next: python examples/left_flood_tool.py")
+
+
+if __name__ == "__main__":
+    main()

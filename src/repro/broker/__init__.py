@@ -1,0 +1,42 @@
+"""Infrastructure Manager: Resource Broker and Load Balancer.
+
+Figure 1's control plane.  The **Resource Broker** (RB) hands each portal
+session "an address of a cloud instance that is suitable for the type of
+computation required", keeps the session informed over its push channel,
+and migrates it when the Load Balancer says so.  The **Load Balancer**
+(LB) watches instance health with two objectives — *minimise costs* and
+*maintain instance responsiveness* — bursting to the public cloud when
+the private pool saturates, reversing when demand fades, and replacing
+instances whose statistics betray the failure signatures the paper lists.
+"""
+
+from repro.broker.sessions import SessionState, SessionTable, UserSession
+from repro.broker.health import HealthMonitor, HealthVerdict
+from repro.broker.policies import (
+    PlacementContext,
+    PrivateFirstPolicy,
+    PublicOnlyPolicy,
+    PrivateOnlyPolicy,
+    SchedulingPolicy,
+    WorkloadSplitPolicy,
+)
+from repro.broker.pool import ManagedService
+from repro.broker.load_balancer import LoadBalancer
+from repro.broker.resource_broker import ResourceBroker
+
+__all__ = [
+    "HealthMonitor",
+    "HealthVerdict",
+    "LoadBalancer",
+    "ManagedService",
+    "PlacementContext",
+    "PrivateFirstPolicy",
+    "PrivateOnlyPolicy",
+    "PublicOnlyPolicy",
+    "ResourceBroker",
+    "SchedulingPolicy",
+    "SessionState",
+    "SessionTable",
+    "UserSession",
+    "WorkloadSplitPolicy",
+]

@@ -1,0 +1,156 @@
+"""Instance health monitoring.
+
+The LB "monitors the health status of running instances ... namely CPU
+utilisation, disk reads and writes, and network usage.  Degradation in
+these metrics, such as sustained high CPU utilisation or zero outbound
+network usage whilst receiving inbound traffic, triggers LB into starting
+a new instance and redirecting users".
+
+The monitor samples each watched instance on a fixed period and issues a
+verdict from the sample window:
+
+* ``DEAD`` — the instance stopped serving altogether.
+* ``WEDGED`` — CPU pinned high for the whole window *and* no jobs
+  completed: the degraded-VM signature (busy instances still complete
+  work, so they do not trip this).
+* ``BLACKHOLED`` — inbound bytes grew over the window while outbound
+  stayed flat.
+* ``OVERLOADED`` — CPU high and work still completing: not a fault, a
+  capacity signal the autoscaler consumes.
+* ``HEALTHY`` — none of the above.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.cloud.instance import Instance
+from repro.sim import Simulator
+
+
+class HealthVerdict(enum.Enum):
+    """Outcome of evaluating an instance's sample window."""
+
+    HEALTHY = "healthy"
+    OVERLOADED = "overloaded"
+    WEDGED = "wedged"
+    BLACKHOLED = "blackholed"
+    DEAD = "dead"
+
+    @property
+    def is_fault(self) -> bool:
+        """Whether the verdict should trigger replacement."""
+        return self in (HealthVerdict.WEDGED, HealthVerdict.BLACKHOLED,
+                        HealthVerdict.DEAD)
+
+
+@dataclass(frozen=True)
+class HealthSample:
+    """One observation of an instance's counters."""
+
+    time: float
+    cpu: float
+    net_in: float
+    net_out: float
+    disk_read: float
+    disk_write: float
+    jobs_completed: float
+
+
+class HealthMonitor:
+    """Periodic sampler + heuristic evaluator for a set of instances."""
+
+    def __init__(self, sim: Simulator, interval: float = 5.0,
+                 window: int = 4, cpu_threshold: float = 0.95,
+                 wedged_window: Optional[int] = None):
+        self.sim = sim
+        self.interval = interval
+        self.window = window
+        self.cpu_threshold = cpu_threshold
+        # the wedged verdict needs a horizon much longer than one model
+        # run, or every busy instance running long jobs looks stuck; by
+        # default it takes 8 plain windows of pinned CPU with zero
+        # completions before an instance is declared wedged
+        self.wedged_window = wedged_window if wedged_window is not None \
+            else 8 * window
+        self._samples: Dict[str, Deque[HealthSample]] = {}
+        self._watched: Dict[str, Instance] = {}
+        self._callbacks: List[Callable[[Instance, HealthVerdict], None]] = []
+        self._loop_running = False
+
+    def on_verdict(self, callback: Callable[[Instance, HealthVerdict], None]) -> None:
+        """Register a callback invoked with every non-healthy verdict."""
+        self._callbacks.append(callback)
+
+    def watch(self, instance: Instance) -> None:
+        """Start monitoring ``instance``."""
+        self._watched[instance.instance_id] = instance
+        self._samples.setdefault(
+            instance.instance_id,
+            deque(maxlen=max(self.window, self.wedged_window)))
+        if not self._loop_running:
+            self._loop_running = True
+            self.sim.spawn(self._sample_loop(), name="health-monitor")
+
+    def unwatch(self, instance: Instance) -> None:
+        """Stop monitoring ``instance``."""
+        self._watched.pop(instance.instance_id, None)
+        self._samples.pop(instance.instance_id, None)
+
+    def watched(self) -> List[Instance]:
+        """Instances currently being monitored."""
+        return list(self._watched.values())
+
+    def _sample_loop(self):
+        while True:
+            yield self.interval
+            for instance in list(self._watched.values()):
+                self._take_sample(instance)
+                verdict = self.verdict(instance)
+                if verdict != HealthVerdict.HEALTHY:
+                    for callback in self._callbacks:
+                        callback(instance, verdict)
+
+    def _take_sample(self, instance: Instance) -> None:
+        stats = instance.stats()
+        sample = HealthSample(
+            time=self.sim.now,
+            cpu=stats["cpu_utilization"],
+            net_in=stats["net_bytes_in"],
+            net_out=stats["net_bytes_out"],
+            disk_read=stats["disk_read_mb"],
+            disk_write=stats["disk_write_mb"],
+            jobs_completed=stats["jobs_completed"],
+        )
+        self._samples[instance.instance_id].append(sample)
+
+    def samples_for(self, instance: Instance) -> List[HealthSample]:
+        """The current sample window for ``instance``."""
+        return list(self._samples.get(instance.instance_id, ()))
+
+    def verdict(self, instance: Instance) -> HealthVerdict:
+        """Evaluate the heuristics against the sample window."""
+        if instance.is_gone:
+            return HealthVerdict.DEAD
+        samples = self._samples.get(instance.instance_id)
+        if not samples or len(samples) < self.window:
+            return HealthVerdict.HEALTHY  # not enough evidence yet
+        recent = list(samples)[-self.window:]
+        first, last = recent[0], recent[-1]
+        received = last.net_in > first.net_in
+        transmitted = last.net_out > first.net_out
+        if received and not transmitted:
+            return HealthVerdict.BLACKHOLED
+        cpu_sustained = all(s.cpu >= self.cpu_threshold for s in recent)
+        if len(samples) >= self.wedged_window:
+            horizon = list(samples)[-self.wedged_window:]
+            cpu_pinned_long = all(s.cpu >= self.cpu_threshold for s in horizon)
+            progressed = horizon[-1].jobs_completed > horizon[0].jobs_completed
+            if cpu_pinned_long and not progressed:
+                return HealthVerdict.WEDGED
+        if cpu_sustained:
+            return HealthVerdict.OVERLOADED
+        return HealthVerdict.HEALTHY

@@ -1,0 +1,368 @@
+"""The Load Balancer: autoscaling, cloudbursting, failure recovery.
+
+Responsibilities, straight from Section IV-D:
+
+* *minimise costs* — serve from private instances by default; upon
+  saturation enter **cloudbursting** mode (public instances beside
+  private ones); reverse on underuse, migrating users back to private;
+* *maintain responsiveness* — watch instance statistics and, on the
+  degradation signatures, start a replacement and redirect the affected
+  users to it;
+* redistribute sessions over running instances and use RB's push channel
+  to deliver updated session information.
+
+The LB is deliberately the only component that launches or terminates
+instances; everything else asks it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.broker.health import HealthMonitor, HealthVerdict
+from repro.broker.policies import PlacementContext, SchedulingPolicy
+from repro.broker.pool import ManagedService
+from repro.broker.sessions import SessionTable, UserSession
+from repro.cloud.errors import CloudError
+from repro.cloud.instance import Instance
+from repro.cloud.multicloud import MultiCloud, NodeTemplate
+from repro.services.registry import ServiceRecord, ServiceRegistry
+from repro.services.transport import Network
+from repro.sim import MetricsRegistry, Signal, Simulator
+
+
+class LoadBalancer:
+    """Pool manager for every :class:`ManagedService`."""
+
+    def __init__(self, sim: Simulator, multicloud: MultiCloud, network: Network,
+                 sessions: SessionTable, policy: SchedulingPolicy,
+                 monitor: Optional[HealthMonitor] = None,
+                 registry: Optional[ServiceRegistry] = None,
+                 private_location: str = "private",
+                 public_location: str = "public",
+                 autoscale_interval: float = 15.0):
+        self.sim = sim
+        self.multicloud = multicloud
+        self.network = network
+        self.sessions = sessions
+        self.policy = policy
+        self.monitor = monitor if monitor is not None else HealthMonitor(sim)
+        # explicit None check: an empty registry is falsy (it has __len__)
+        self.registry = registry if registry is not None else ServiceRegistry()
+        self.private_location = private_location
+        self.public_location = public_location
+        self.autoscale_interval = autoscale_interval
+        #: accept-queue bound per replica, as a multiple of its vCPUs;
+        #: None disables back-pressure (the ablation baseline)
+        self.queue_bound_factor: Optional[int] = 4
+        self.metrics = MetricsRegistry(sim, namespace="lb")
+        self.events: List[Dict] = []
+        self._services: Dict[str, ManagedService] = {}
+        self._waiting: Dict[str, Deque[UserSession]] = {}
+        self._replacing: set = set()
+        self._autoscaler_running = False
+        self.cloudbursting = False
+        self.monitor.on_verdict(self._on_verdict)
+
+    # -- service management -----------------------------------------------------
+
+    def manage(self, service: ManagedService,
+               initial_replicas: Optional[int] = None) -> ManagedService:
+        """Take ownership of ``service`` and launch its initial replicas."""
+        if service.name in self._services:
+            raise ValueError(f"service {service.name!r} already managed")
+        self._services[service.name] = service
+        self._waiting[service.name] = deque()
+        count = (initial_replicas if initial_replicas is not None
+                 else service.min_replicas)
+        for _ in range(count):
+            self.scale_up(service)
+        if not self._autoscaler_running:
+            self._autoscaler_running = True
+            self.sim.spawn(self._autoscale_loop(), name="lb-autoscaler")
+        return service
+
+    def service(self, name: str) -> ManagedService:
+        """Look up a managed service by name."""
+        return self._services[name]
+
+    def services(self) -> List[ManagedService]:
+        """All managed services."""
+        return list(self._services.values())
+
+    def _service_of(self, instance: Instance) -> Optional[ManagedService]:
+        for service in self._services.values():
+            if instance in service.replicas:
+                return service
+        return None
+
+    # -- placement ----------------------------------------------------------------
+
+    def place_session(self, session: UserSession, service_name: str) -> None:
+        """Assign ``session`` to the least-loaded replica, or queue it.
+
+        Queued sessions are drained as soon as a replica boots — the
+        session wait-time recorder is the QoS series the flash-crowd
+        bench reports.
+        """
+        service = self._services[service_name]
+        replica = service.least_loaded()
+        if replica is not None:
+            session.assign(replica)
+            self.metrics.recorder("session.wait").record(session.wait_time or 0.0)
+        else:
+            self._waiting[service_name].append(session)
+            if service.projected_size() == 0:
+                self.scale_up(service)
+
+    def _drain_waiting(self, service: ManagedService) -> None:
+        queue = self._waiting[service.name]
+        while queue:
+            replica = service.least_loaded()
+            if replica is None:
+                return
+            session = queue.popleft()
+            if session.state.value == "ended":
+                continue
+            session.assign(replica)
+            self.metrics.recorder("session.wait").record(session.wait_time or 0.0)
+
+    # -- scaling ---------------------------------------------------------------------
+
+    def scale_up(self, service: ManagedService) -> Optional[Instance]:
+        """Launch one replica per the scheduling policy.
+
+        Returns the PENDING instance, or ``None`` if every allowed
+        location refused (the private-only policy at saturation — the
+        paper's grid-quota analogue).
+        """
+        if service.projected_size() >= service.max_replicas:
+            return None
+        context = PlacementContext(image=service.image, purpose=service.purpose)
+        instance: Optional[Instance] = None
+        chosen_location: Optional[str] = None
+        for location in self.policy.locations(context):
+            try:
+                instance = self.multicloud.compute(location).launch(
+                    service.image, service.flavor)
+                chosen_location = location
+                break
+            except CloudError:
+                continue
+        if instance is None:
+            self.metrics.counter("scaleup.refused").increment()
+            self._log("scaleup.refused", service=service.name)
+            return None
+        service.pending_launches += 1
+        self._update_burst_state(chosen_location)
+        self.metrics.counter(f"launch.{chosen_location}").increment()
+        self._log("launch", service=service.name, location=chosen_location,
+                  instance=instance.instance_id)
+
+        def on_ready():
+            booted = yield instance.ready
+            service.pending_launches -= 1
+            if booted is None or not instance.is_serving:
+                self._log("boot.failed", instance=instance.instance_id)
+                return
+            # bounded accept queue: overload turns into fast 503s the
+            # client retries elsewhere, not hour-long queueing
+            if self.queue_bound_factor is not None:
+                instance.max_queue = (self.queue_bound_factor
+                                      * instance.flavor.vcpus)
+            server = service.make_server(instance)
+            service.replicas.append(instance)
+            self.monitor.watch(instance)
+            try:
+                self.registry.register(ServiceRecord(
+                    name=service.name, service_type="rest",
+                    address=instance.address,
+                    metadata={"location": chosen_location or ""}))
+            except ValueError:
+                pass
+            self._log("replica.ready", service=service.name,
+                      instance=instance.instance_id)
+            self._drain_waiting(service)
+            return server
+
+        self.sim.spawn(on_ready(), name=f"lb.boot.{instance.instance_id}")
+        return instance
+
+    def scale_down(self, service: ManagedService) -> bool:
+        """Retire one replica, preferring public (cost) then idle ones.
+
+        Sessions on the victim are migrated to the remaining replicas
+        before termination — the graceful migration REST statelessness
+        buys.  Returns whether a replica was retired.
+        """
+        serving = service.serving()
+        if len(serving) <= service.min_replicas:
+            return False
+        public = [inst for inst in serving
+                  if self._location_of(inst) == self.public_location]
+        candidates = public or serving
+        # graceful drain: only retire replicas with no in-flight work, so
+        # no caller ever loses a response to a scale-down
+        idle = [inst for inst in candidates if inst.load() == 0]
+        if not idle:
+            return False
+        victim = min(idle,
+                     key=lambda inst: len(self.sessions.on_instance(inst)))
+        remaining = [inst for inst in serving if inst is not victim]
+        if not remaining:
+            return False
+        self._migrate_sessions(victim, service, reason="scale-down")
+        self._retire(victim, service)
+        self._log("scaledown", service=service.name, instance=victim.instance_id)
+        self._update_burst_state(None)
+        return True
+
+    def _retire(self, instance: Instance, service: ManagedService) -> None:
+        service.drop_replica(instance)
+        self.monitor.unwatch(instance)
+        self.registry.deregister(service.name, instance.address)
+        self.network.unregister(instance.address)
+        if not instance.is_gone:
+            self.multicloud.destroy_node(instance)
+
+    def _migrate_sessions(self, source: Instance, service: ManagedService,
+                          reason: str) -> None:
+        for session in self.sessions.on_instance(source):
+            target = min(
+                (inst for inst in service.serving() if inst is not source),
+                key=lambda inst: inst.load(), default=None)
+            if target is None:
+                session.unassign()
+                self._waiting[service.name].append(session)
+            else:
+                session.assign(target)
+            self.metrics.counter("migrations").increment()
+            self._log("migrate", session=session.session_id, reason=reason)
+
+    def drain(self, instance: Instance) -> Signal:
+        """Gracefully retire one replica on operator request.
+
+        The maintenance path: stop routing new sessions to the instance
+        (it leaves the pool immediately), migrate its sessions, wait for
+        in-flight work to finish, then terminate.  Returns a signal
+        fired with True when the instance is gone, or False if it was
+        not a managed replica.
+        """
+        done = self.sim.signal(f"drain.{instance.instance_id}")
+        service = self._service_of(instance)
+        if service is None:
+            self.sim.schedule(0.0, done.fire, False)
+            return done
+        service.drop_replica(instance)
+        self.monitor.unwatch(instance)
+        self.registry.deregister(service.name, instance.address)
+        self._migrate_sessions(instance, service, reason="drain")
+        self._log("drain.start", instance=instance.instance_id)
+
+        def drainer():
+            while instance.load() > 0 and instance.is_serving:
+                yield 5.0
+            self.network.unregister(instance.address)
+            if not instance.is_gone:
+                self.multicloud.destroy_node(instance)
+            self._log("drain.done", instance=instance.instance_id)
+            self._update_burst_state(None)
+            done.fire(True)
+
+        self.sim.spawn(drainer(), name=f"drain.{instance.instance_id}")
+        return done
+
+    # -- failure handling --------------------------------------------------------------
+
+    def _on_verdict(self, instance: Instance, verdict: HealthVerdict) -> None:
+        if not verdict.is_fault:
+            return  # OVERLOADED is handled by the autoscale loop
+        if instance.instance_id in self._replacing:
+            return
+        service = self._service_of(instance)
+        if service is None:
+            return
+        self._replacing.add(instance.instance_id)
+        self.metrics.counter(f"fault.{verdict.value}").increment()
+        self._log("fault.detected", instance=instance.instance_id,
+                  verdict=verdict.value)
+        # redirect users first, then replace capacity, then destroy
+        self._migrate_sessions(instance, service, reason=f"fault:{verdict.value}")
+        self._retire(instance, service)
+        self.scale_up(service)
+        self._log("fault.recovered", instance=instance.instance_id)
+
+    # -- autoscaling --------------------------------------------------------------------
+
+    def _autoscale_loop(self):
+        while True:
+            yield self.autoscale_interval
+            for service in self._services.values():
+                self._autoscale_service(service)
+
+    def _autoscale_service(self, service: ManagedService) -> None:
+        demand = (sum(len(self.sessions.on_instance(inst))
+                      for inst in service.serving())
+                  + len(self._waiting[service.name]))
+        desired = max(service.min_replicas,
+                      min(service.max_replicas,
+                          math.ceil(demand / service.sessions_per_replica)))
+        current = service.projected_size()
+        if desired > current:
+            for _ in range(desired - current):
+                if self.scale_up(service) is None:
+                    break
+        elif desired < current - service.pending_launches:
+            for _ in range(current - service.pending_launches - desired):
+                if not self.scale_down(service):
+                    break
+        self._rebalance(service)
+
+    def _rebalance(self, service: ManagedService) -> None:
+        """Even out session counts across serving replicas."""
+        serving = service.serving()
+        if len(serving) < 2:
+            return
+        counts = {inst.instance_id: len(self.sessions.on_instance(inst))
+                  for inst in serving}
+        while True:
+            busiest = max(serving, key=lambda i: counts[i.instance_id])
+            quietest = min(serving, key=lambda i: counts[i.instance_id])
+            if counts[busiest.instance_id] - counts[quietest.instance_id] <= 1:
+                break
+            session = self.sessions.on_instance(busiest)[0]
+            session.assign(quietest)
+            counts[busiest.instance_id] -= 1
+            counts[quietest.instance_id] += 1
+            self.metrics.counter("rebalances").increment()
+
+    # -- cloudburst bookkeeping -----------------------------------------------------------
+
+    def _update_burst_state(self, just_launched_location: Optional[str]) -> None:
+        public_nodes = [inst for service in self._services.values()
+                        for inst in service.replicas
+                        if self._location_of(inst) == self.public_location
+                        and not inst.is_gone]
+        bursting_now = bool(public_nodes) or (
+            just_launched_location == self.public_location)
+        if bursting_now and not self.cloudbursting:
+            self.cloudbursting = True
+            self.metrics.counter("cloudburst.activations").increment()
+            self._log("cloudburst.enter")
+        elif not bursting_now and self.cloudbursting:
+            self.cloudbursting = False
+            self.metrics.counter("cloudburst.reversals").increment()
+            self._log("cloudburst.exit")
+
+    def _location_of(self, instance: Instance) -> str:
+        try:
+            return self.multicloud.location_of(instance)
+        except CloudError:
+            return "unknown"
+
+    def _log(self, kind: str, **fields) -> None:
+        entry = {"t": self.sim.now, "event": kind}
+        entry.update(fields)
+        self.events.append(entry)

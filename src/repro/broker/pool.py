@@ -1,0 +1,71 @@
+"""Managed services: named pools of interchangeable replicas.
+
+A :class:`ManagedService` describes one end-user-facing service (e.g. the
+LEFT modelling WPS): which image and flavor its replicas need, how to
+materialise a server on a freshly booted instance, and how many sessions
+one replica comfortably serves.  The Load Balancer owns the pool's size;
+the Resource Broker picks replicas out of it for sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.cloud.flavors import Flavor
+from repro.cloud.images import MachineImage
+from repro.cloud.instance import Instance
+
+
+@dataclass
+class ManagedService:
+    """Pool definition plus its live replica set.
+
+    ``make_server(instance)`` must create the service endpoint on the
+    instance and register it on the network; it runs when a replica
+    finishes booting.  ``sessions_per_replica`` is the capacity target
+    the autoscaler divides demand by; ``min_replicas``/``max_replicas``
+    bound the pool.
+    """
+
+    name: str
+    image: MachineImage
+    flavor: Flavor
+    make_server: Callable[[Instance], Any]
+    purpose: str = "general"
+    sessions_per_replica: int = 10
+    min_replicas: int = 1
+    max_replicas: int = 64
+    replicas: List[Instance] = field(default_factory=list)
+    pending_launches: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sessions_per_replica <= 0:
+            raise ValueError("sessions_per_replica must be positive")
+        if self.min_replicas < 0 or self.max_replicas < self.min_replicas:
+            raise ValueError("need 0 <= min_replicas <= max_replicas")
+
+    def serving(self) -> List[Instance]:
+        """Replicas currently able to serve."""
+        return [inst for inst in self.replicas if inst.is_serving]
+
+    def healthy_serving(self) -> List[Instance]:
+        """Serving replicas that are not degraded or blackholed."""
+        return [inst for inst in self.serving()
+                if inst.state.value == "running" and not inst.network_blackholed]
+
+    def projected_size(self) -> int:
+        """Serving replicas plus launches in flight."""
+        return len(self.serving()) + self.pending_launches
+
+    def least_loaded(self) -> Optional[Instance]:
+        """The serving replica with the lowest load, preferring healthy ones."""
+        candidates = self.healthy_serving() or self.serving()
+        if not candidates:
+            return None
+        return min(candidates, key=lambda inst: inst.load())
+
+    def drop_replica(self, instance: Instance) -> None:
+        """Remove ``instance`` from the pool (idempotent)."""
+        if instance in self.replicas:
+            self.replicas.remove(instance)

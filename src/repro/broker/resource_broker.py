@@ -1,0 +1,100 @@
+"""The Resource Broker: the portal's doorway to the infrastructure.
+
+"Once a user navigates to one of the modelling widgets, a connection is
+created with the Resource Broker ... RB responds with an address of a
+cloud instance that is suitable for the type of computation required,
+along with some session information.  This communication is done ...
+using HTML5 WebSockets."
+
+The RB owns the push gateway (hosted on its own instance), creates
+sessions, asks the Load Balancer to place them, and exposes prefetch /
+preemptive-bootstrap hooks ("prefetching data records and preemptively
+bootstrapping cloud instances as soon as a user visits the portal").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.broker.load_balancer import LoadBalancer
+from repro.broker.sessions import SessionTable, UserSession
+from repro.services.channels import PushGateway
+from repro.sim import MetricsRegistry, Simulator
+
+
+class ResourceBroker:
+    """Front door for portal sessions."""
+
+    def __init__(self, sim: Simulator, load_balancer: LoadBalancer,
+                 sessions: SessionTable, gateway: PushGateway):
+        self.sim = sim
+        self.lb = load_balancer
+        self.sessions = sessions
+        self.gateway = gateway
+        self.metrics = MetricsRegistry(sim, namespace="rb")
+
+    def connect(self, user_name: str, service_name: str,
+                channel: Optional[Any] = None) -> UserSession:
+        """Open a session for ``user_name`` against ``service_name``.
+
+        Establishes a WebSocket connection (unless the caller brings its
+        own channel), creates the session, and asks the LB to place it.
+        The assignment — immediate or after a boot — arrives as a
+        ``session.assign`` push on the channel.
+        """
+        if channel is None:
+            channel = self.gateway.connect(user_name)
+        session = self.sessions.create(user_name, channel, purpose=service_name)
+        self.metrics.counter("connects").increment()
+        self.lb.place_session(session, service_name)
+        return session
+
+    def disconnect(self, session: UserSession) -> None:
+        """End a session (the WebSocket's session-end sensing path).
+
+        The LB's next autoscale pass observes the lowered demand — this
+        is how "sensing when user sessions end" feeds load balancing.
+        """
+        session.end()
+        self.metrics.counter("disconnects").increment()
+
+    def current_address(self, session: UserSession) -> Optional[str]:
+        """Where the session should send its next request."""
+        return session.instance_address
+
+    # -- QoS warm-up hooks ----------------------------------------------------
+
+    def preboot(self, service_name: str, replicas: int,
+                warm_seconds: float = 900.0) -> None:
+        """Preemptively bootstrap replicas ahead of expected demand.
+
+        The paper's flash-crowd mitigation: start instances "as soon as
+        a user visits the portal", trading a little cost for much lower
+        first-interaction latency.  The pool floor is raised for
+        ``warm_seconds`` so the autoscaler doesn't reap the still-idle
+        warm replicas before the demand they anticipate arrives.
+        """
+        service = self.lb.service(service_name)
+        original_floor = service.min_replicas
+        target = max(service.projected_size(), original_floor, replicas)
+        service.min_replicas = min(target, service.max_replicas)
+        while service.projected_size() < service.min_replicas:
+            if self.lb.scale_up(service) is None:
+                break
+
+        def restore_floor() -> None:
+            service.min_replicas = original_floor
+
+        self.sim.schedule(warm_seconds, restore_floor)
+        self.metrics.counter("preboots").increment(replicas)
+
+    def prefetch(self, container: Any, keys: List[str],
+                 cache: Dict[str, Any]) -> int:
+        """Prefetch data records into a cache; returns how many loaded."""
+        loaded = 0
+        for key in keys:
+            if key not in cache and container.exists(key):
+                cache[key] = container.get(key).payload
+                loaded += 1
+        self.metrics.counter("prefetched").increment(loaded)
+        return loaded

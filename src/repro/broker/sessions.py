@@ -1,0 +1,163 @@
+"""User sessions and the session table.
+
+A session binds a portal user to the instance currently serving them.
+Assignment changes (initial placement, migration off a failed or drained
+instance) are *pushed* to the user's channel — "RB [pushes] any session
+updates to the user's browser, such as in the case of migrating the user
+to a new cloud instance" — so the client always knows where to send its
+next request without polling.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Dict, List, Optional
+
+from repro.cloud.instance import Instance
+from repro.sim import Simulator
+
+_session_ids = itertools.count()
+
+
+class SessionState(enum.Enum):
+    """Lifecycle of a user session."""
+
+    WAITING = "waiting"     # connected, no instance assigned yet
+    ACTIVE = "active"       # pinned to a serving instance
+    ENDED = "ended"
+
+
+class UserSession:
+    """One user's live attachment to the portal."""
+
+    def __init__(self, sim: Simulator, user_name: str,
+                 channel: Optional[Any] = None, purpose: str = "general"):
+        self._sim = sim
+        self.session_id = f"sess-{next(_session_ids):06d}"
+        self.user_name = user_name
+        self.channel = channel      # anything with .push(payload)
+        self.purpose = purpose      # e.g. the model the user wants to run
+        self.state = SessionState.WAITING
+        self.created_at = sim.now
+        self.assigned_at: Optional[float] = None
+        self.ended_at: Optional[float] = None
+        self.instance: Optional[Instance] = None
+        self.migrations: List[Dict[str, Any]] = []
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        """Seconds from creation to first assignment (None until then)."""
+        if self.assigned_at is None:
+            return None
+        return self.assigned_at - self.created_at
+
+    @property
+    def instance_address(self) -> Optional[str]:
+        """Address of the currently assigned instance."""
+        return self.instance.address if self.instance is not None else None
+
+    def assign(self, instance: Instance) -> None:
+        """Pin the session to ``instance`` and push the update."""
+        if self.state == SessionState.ENDED:
+            raise ValueError(f"session {self.session_id} already ended")
+        previous = self.instance
+        self.instance = instance
+        if self.assigned_at is None:
+            self.assigned_at = self._sim.now
+        if previous is not None and previous is not instance:
+            self.migrations.append({
+                "at": self._sim.now,
+                "from": previous.address,
+                "to": instance.address,
+            })
+        self.state = SessionState.ACTIVE
+        self._push({
+            "type": "session.assign",
+            "sessionId": self.session_id,
+            "instance": instance.address,
+        })
+
+    def unassign(self) -> None:
+        """Detach the session from its instance, returning it to WAITING.
+
+        Used when a replica is lost and no other replica can take the
+        session yet; it re-enters the broker's waiting queue.
+        """
+        if self.state == SessionState.ENDED:
+            return
+        self.instance = None
+        self.state = SessionState.WAITING
+        self._push({"type": "session.wait", "sessionId": self.session_id})
+
+    def end(self) -> None:
+        """Terminate the session (user navigated away); idempotent."""
+        if self.state == SessionState.ENDED:
+            return
+        self.state = SessionState.ENDED
+        self.ended_at = self._sim.now
+        self.instance = None
+        self._push({"type": "session.end", "sessionId": self.session_id})
+
+    def _push(self, payload: Dict[str, Any]) -> None:
+        if self.channel is not None:
+            self.channel.push(payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<UserSession {self.session_id} {self.user_name} "
+                f"{self.state.value} on {self.instance_address}>")
+
+
+class SessionTable:
+    """Registry of all sessions, live and ended."""
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._sessions: Dict[str, UserSession] = {}
+
+    def create(self, user_name: str, channel: Optional[Any] = None,
+               purpose: str = "general") -> UserSession:
+        """Open a new session in WAITING state."""
+        session = UserSession(self._sim, user_name, channel, purpose)
+        self._sessions[session.session_id] = session
+        return session
+
+    def get(self, session_id: str) -> UserSession:
+        """Look a session up by id."""
+        return self._sessions[session_id]
+
+    def active(self) -> List[UserSession]:
+        """Sessions currently pinned to an instance."""
+        return [s for s in self._sessions.values()
+                if s.state == SessionState.ACTIVE]
+
+    def waiting(self) -> List[UserSession]:
+        """Sessions not yet assigned."""
+        return [s for s in self._sessions.values()
+                if s.state == SessionState.WAITING]
+
+    def on_instance(self, instance: Instance) -> List[UserSession]:
+        """Active sessions pinned to ``instance``."""
+        return [s for s in self.active() if s.instance is instance]
+
+    def all(self) -> List[UserSession]:
+        """Every session ever created."""
+        return list(self._sessions.values())
+
+    def live_count(self) -> int:
+        """Active plus waiting sessions."""
+        return len(self.active()) + len(self.waiting())
+
+    def prune_ended(self, older_than_seconds: float = 0.0) -> int:
+        """Housekeeping: forget sessions that ended before the cutoff.
+
+        Returns how many records were dropped.  Live sessions are never
+        pruned regardless of age.
+        """
+        cutoff = self._sim.now - older_than_seconds
+        doomed = [sid for sid, s in self._sessions.items()
+                  if s.state == SessionState.ENDED
+                  and s.ended_at is not None and s.ended_at <= cutoff]
+        for sid in doomed:
+            del self._sessions[sid]
+        return len(doomed)

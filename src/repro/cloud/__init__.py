@@ -1,0 +1,66 @@
+"""Simulated hybrid cloud substrate.
+
+EVOp ran on a private OpenStack cloud paired with AWS, glued together by
+the jclouds cross-cloud library.  This package reproduces that stack as a
+discrete-event simulation:
+
+* :mod:`repro.cloud.openstack` — fixed-capacity private IaaS with quotas.
+* :mod:`repro.cloud.aws` — elastic public IaaS with per-second billing.
+* :mod:`repro.cloud.multicloud` — provider-neutral compute/blob facade
+  (the jclouds role) so broker code never names a concrete provider.
+* :mod:`repro.cloud.storage` — S3/Swift-like object store.
+* :mod:`repro.cloud.images` / :mod:`repro.cloud.provisioning` — pre-baked
+  machine images versus generic images configured by CMT recipes.
+* :mod:`repro.cloud.faults` — crash/degrade/blackhole injection used by
+  the failover benchmarks.
+"""
+
+from repro.cloud.billing import BillingMeter, PriceTable
+from repro.cloud.errors import (
+    CapacityError,
+    CloudError,
+    InstanceNotFound,
+    InvalidStateError,
+    QuotaExceededError,
+)
+from repro.cloud.flavors import Flavor, SMALL, MEDIUM, LARGE
+from repro.cloud.images import ImageKind, ImageStore, MachineImage
+from repro.cloud.instance import Instance, InstanceState, Job
+from repro.cloud.provider import CloudProvider
+from repro.cloud.openstack import OpenStackCloud
+from repro.cloud.aws import AwsCloud
+from repro.cloud.storage import Blob, BlobStore, Container
+from repro.cloud.faults import FaultInjector
+from repro.cloud.provisioning import ProvisioningRecipe, RecipeStep
+from repro.cloud.multicloud import MultiCloud, NodeTemplate
+
+__all__ = [
+    "AwsCloud",
+    "BillingMeter",
+    "Blob",
+    "BlobStore",
+    "CapacityError",
+    "CloudError",
+    "CloudProvider",
+    "Container",
+    "FaultInjector",
+    "Flavor",
+    "ImageKind",
+    "ImageStore",
+    "Instance",
+    "InstanceNotFound",
+    "InstanceState",
+    "InvalidStateError",
+    "Job",
+    "LARGE",
+    "MachineImage",
+    "MEDIUM",
+    "MultiCloud",
+    "NodeTemplate",
+    "OpenStackCloud",
+    "PriceTable",
+    "ProvisioningRecipe",
+    "QuotaExceededError",
+    "RecipeStep",
+    "SMALL",
+]

@@ -1,0 +1,95 @@
+"""Fault injection for the failover benchmarks.
+
+Three fault kinds cover the signatures the paper's Load Balancer detects:
+
+* **crash** — the instance dies outright (state ``FAILED``); in-flight
+  jobs fail, requests to it are refused.
+* **degrade** — the instance keeps serving but its CPU pins at 100% and
+  service slows drastically ("sustained high CPU utilisation").
+* **blackhole** — the NIC stops transmitting while still receiving
+  ("zero outbound network usage whilst receiving inbound traffic").
+
+Faults can be injected deterministically (``crash_at``) or as a Poisson
+background process (``enable_random_crashes``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cloud.instance import Instance, InstanceState
+from repro.cloud.provider import CloudProvider
+from repro.sim import RandomStreams, Simulator
+
+
+class FaultInjector:
+    """Injects instance faults into one or more providers."""
+
+    def __init__(self, sim: Simulator, providers: List[CloudProvider],
+                 streams: Optional[RandomStreams] = None):
+        self.sim = sim
+        self.providers = list(providers)
+        self.streams = streams or RandomStreams()
+        self.injected: List[Tuple[float, str, str]] = []  # (t, kind, instance)
+
+    def _provider_of(self, instance: Instance) -> CloudProvider:
+        for provider in self.providers:
+            if provider.name == instance.provider_name:
+                return provider
+        raise ValueError(f"no provider {instance.provider_name!r} registered")
+
+    # -- deterministic injection --------------------------------------------------
+
+    def crash(self, instance: Instance, cause: str = "hardware fault") -> None:
+        """Kill ``instance`` now."""
+        if instance.is_gone:
+            return
+        was_serving = instance.is_serving
+        provider = self._provider_of(instance)
+        instance._mark_failed(cause)
+        provider._on_instance_gone(instance, was_serving)
+        provider.metrics.counter("faults.crash").increment()
+        self.injected.append((self.sim.now, "crash", instance.instance_id))
+
+    def degrade(self, instance: Instance, speed_multiplier: float = 0.1) -> None:
+        """Pin ``instance`` at 100% CPU with drastically slowed service."""
+        instance._degrade(speed_multiplier)
+        self._provider_of(instance).metrics.counter("faults.degrade").increment()
+        self.injected.append((self.sim.now, "degrade", instance.instance_id))
+
+    def blackhole(self, instance: Instance) -> None:
+        """Stop ``instance`` transmitting while it still receives."""
+        instance._blackhole()
+        self._provider_of(instance).metrics.counter("faults.blackhole").increment()
+        self.injected.append((self.sim.now, "blackhole", instance.instance_id))
+
+    def crash_at(self, delay: float, instance: Instance,
+                 cause: str = "scheduled fault") -> None:
+        """Schedule a crash ``delay`` seconds from now."""
+        self.sim.schedule(delay, self.crash, instance, cause)
+
+    def degrade_at(self, delay: float, instance: Instance,
+                   speed_multiplier: float = 0.1) -> None:
+        """Schedule a degradation ``delay`` seconds from now."""
+        self.sim.schedule(delay, self.degrade, instance, speed_multiplier)
+
+    def blackhole_at(self, delay: float, instance: Instance) -> None:
+        """Schedule a NIC blackhole ``delay`` seconds from now."""
+        self.sim.schedule(delay, self.blackhole, instance)
+
+    # -- background fault process ----------------------------------------------------
+
+    def enable_random_crashes(self, mean_interval_seconds: float,
+                              horizon: float) -> None:
+        """Crash a random serving instance at Poisson intervals until ``horizon``."""
+        rng = self.streams.get("faults.random")
+
+        def fault_process():
+            while self.sim.now < horizon:
+                yield rng.expovariate(1.0 / mean_interval_seconds)
+                victims = [inst for provider in self.providers
+                           for inst in provider.instances(InstanceState.RUNNING)]
+                if victims:
+                    self.crash(rng.choice(victims), cause="random background fault")
+
+        self.sim.spawn(fault_process(), name="fault-injector")

@@ -1,0 +1,133 @@
+"""S3/Swift-like object storage.
+
+EVOp warehoused datasets and machine images in object stores on both
+clouds.  This is a faithful-but-minimal blob store: containers, keyed
+blobs with metadata and etags, list with prefix, and conditional get —
+enough for the data warehouse, the Model Library's image payloads and
+the workflow engine's stage caching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.cloud.errors import BlobNotFound, ContainerNotFound
+from repro.sim import Simulator
+
+
+@dataclass
+class Blob:
+    """A stored object: payload plus user metadata and an etag."""
+
+    key: str
+    payload: Any
+    size_bytes: int
+    etag: str
+    created_at: float
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+
+def _etag_of(payload: Any) -> str:
+    return hashlib.sha256(repr(payload).encode()).hexdigest()[:16]
+
+
+def _size_of(payload: Any, declared: Optional[int]) -> int:
+    if declared is not None:
+        return declared
+    if isinstance(payload, (bytes, bytearray, str)):
+        return len(payload)
+    return len(repr(payload))
+
+
+class Container:
+    """A named bucket of blobs."""
+
+    def __init__(self, name: str, sim: Simulator):
+        self.name = name
+        self._sim = sim
+        self._blobs: Dict[str, Blob] = {}
+
+    def put(self, key: str, payload: Any,
+            metadata: Optional[Dict[str, str]] = None,
+            size_bytes: Optional[int] = None) -> Blob:
+        """Store (or overwrite) ``key``; returns the stored blob."""
+        blob = Blob(
+            key=key,
+            payload=payload,
+            size_bytes=_size_of(payload, size_bytes),
+            etag=_etag_of(payload),
+            created_at=self._sim.now,
+            metadata=dict(metadata or {}),
+        )
+        self._blobs[key] = blob
+        return blob
+
+    def get(self, key: str) -> Blob:
+        """Fetch ``key`` or raise :class:`BlobNotFound`."""
+        try:
+            return self._blobs[key]
+        except KeyError:
+            raise BlobNotFound(f"{self.name}/{key}") from None
+
+    def get_if_none_match(self, key: str, etag: str) -> Optional[Blob]:
+        """Conditional get: ``None`` when the caller's etag is current."""
+        blob = self.get(key)
+        if blob.etag == etag:
+            return None
+        return blob
+
+    def exists(self, key: str) -> bool:
+        """Whether ``key`` is stored."""
+        return key in self._blobs
+
+    def delete(self, key: str) -> None:
+        """Remove ``key`` or raise :class:`BlobNotFound`."""
+        if key not in self._blobs:
+            raise BlobNotFound(f"{self.name}/{key}")
+        del self._blobs[key]
+
+    def list(self, prefix: str = "") -> List[str]:
+        """Keys with the given prefix, sorted."""
+        return sorted(k for k in self._blobs if k.startswith(prefix))
+
+    def total_bytes(self) -> int:
+        """Sum of stored blob sizes."""
+        return sum(b.size_bytes for b in self._blobs.values())
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+
+class BlobStore:
+    """Top-level object store: a namespace of containers."""
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self._sim = sim
+        self.name = name
+        self._containers: Dict[str, Container] = {}
+
+    def create_container(self, name: str) -> Container:
+        """Create (or return the existing) container ``name``."""
+        if name not in self._containers:
+            self._containers[name] = Container(name, self._sim)
+        return self._containers[name]
+
+    def container(self, name: str) -> Container:
+        """Fetch an existing container or raise :class:`ContainerNotFound`."""
+        try:
+            return self._containers[name]
+        except KeyError:
+            raise ContainerNotFound(name) from None
+
+    def containers(self) -> Iterable[str]:
+        """Names of all containers, sorted."""
+        return sorted(self._containers)
+
+    def delete_container(self, name: str, force: bool = False) -> None:
+        """Delete a container; refuses non-empty ones unless ``force``."""
+        container = self.container(name)
+        if len(container) and not force:
+            raise ValueError(f"container {name!r} not empty")
+        del self._containers[name]

@@ -1,0 +1,116 @@
+"""Operator console: the internal-management view of the XaaS estate.
+
+Section IV-B: "Internal access, where management is involved, is vastly
+improved as all system resources are accessible in a uniform
+machine-readable manner.  This not only simplifies housekeeping tasks
+but also enables advanced management tasks to improve availability,
+fault recovery, etc."
+
+:class:`AdminConsole` is that uniform view for the operators: one
+structured snapshot covering instances per provider, managed services
+and their replica health, live sessions, fault history, cloudburst
+state and accrued cost — plus a terminal rendering for the humans on
+call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.evop import Evop
+
+
+class AdminConsole:
+    """Read-only management view over one deployment."""
+
+    def __init__(self, evop: Evop):
+        self.evop = evop
+
+    # -- structured snapshot -------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """The machine-readable estate snapshot."""
+        evop = self.evop
+        services = []
+        for service in evop.lb.services():
+            replicas = []
+            for instance in service.replicas:
+                replicas.append({
+                    "id": instance.instance_id,
+                    "location": evop.lb._location_of(instance),
+                    "state": instance.state.value,
+                    "cpu": round(instance.cpu_utilization(), 3),
+                    "load": round(instance.load(), 3),
+                    "sessions": len(evop.sessions.on_instance(instance)),
+                    "verdict": evop.monitor.verdict(instance).value,
+                })
+            services.append({
+                "name": service.name,
+                "replicas": replicas,
+                "pending_launches": service.pending_launches,
+                "min": service.min_replicas,
+                "max": service.max_replicas,
+            })
+        faults = [e for e in evop.lb.events
+                  if e["event"].startswith("fault.")]
+        return {
+            "time": evop.sim.now,
+            "instances": evop.instances_by_location(),
+            "cloudbursting": evop.lb.cloudbursting,
+            "services": services,
+            "sessions": {
+                "active": len(evop.sessions.active()),
+                "waiting": len(evop.sessions.waiting()),
+                "total_ever": len(evop.sessions.all()),
+            },
+            "faults": {
+                "detected": sum(1 for e in faults
+                                if e["event"] == "fault.detected"),
+                "recent": faults[-5:],
+            },
+            "cost": evop.cost_report(),
+            "registry": [
+                {"name": r.name, "address": r.address}
+                for r in evop.registry.all()
+            ],
+            "models": [e.name for e in evop.library.list()],
+        }
+
+    def unhealthy_replicas(self) -> List[Dict[str, Any]]:
+        """Replicas whose current verdict is not healthy."""
+        out = []
+        for service in self.evop.lb.services():
+            for instance in service.replicas:
+                verdict = self.evop.monitor.verdict(instance)
+                if verdict.value != "healthy":
+                    out.append({"service": service.name,
+                                "id": instance.instance_id,
+                                "verdict": verdict.value})
+        return out
+
+    # -- human rendering --------------------------------------------------------
+
+    def render(self) -> str:
+        """The on-call terminal view."""
+        snapshot = self.status()
+        lines = [
+            f"EVOp estate @ t={snapshot['time']:.0f}s  "
+            f"cloudbursting={'YES' if snapshot['cloudbursting'] else 'no'}  "
+            f"cost=${snapshot['cost']['total']:.3f}",
+            f"instances: " + "  ".join(
+                f"{loc}={n}" for loc, n in snapshot["instances"].items()),
+            f"sessions: {snapshot['sessions']['active']} active, "
+            f"{snapshot['sessions']['waiting']} waiting",
+        ]
+        for service in snapshot["services"]:
+            lines.append(f"service {service['name']} "
+                         f"(+{service['pending_launches']} booting):")
+            for replica in service["replicas"]:
+                lines.append(
+                    f"  {replica['id']:12s} {replica['location']:8s} "
+                    f"{replica['state']:10s} cpu={replica['cpu']:.0%} "
+                    f"sessions={replica['sessions']} "
+                    f"verdict={replica['verdict']}")
+        if snapshot["faults"]["detected"]:
+            lines.append(f"faults detected: {snapshot['faults']['detected']}")
+        return "\n".join(lines)

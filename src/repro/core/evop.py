@@ -1,0 +1,327 @@
+"""The EVOp deployment facade.
+
+Builds and owns every subsystem; ``bootstrap()`` then reproduces the
+Figure 1 data flow: model publication into the Model Library, WPS
+services managed by the Load Balancer over the hybrid cloud, sensor
+networks feeding the catalogue, and the Resource Broker fronting it all
+for portal sessions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.broker.health import HealthMonitor
+from repro.broker.load_balancer import LoadBalancer
+from repro.broker.policies import (
+    PrivateFirstPolicy,
+    PrivateOnlyPolicy,
+    PublicOnlyPolicy,
+    SchedulingPolicy,
+    WorkloadSplitPolicy,
+)
+from repro.broker.pool import ManagedService
+from repro.broker.resource_broker import ResourceBroker
+from repro.broker.sessions import SessionTable
+from repro.cloud.aws import AwsCloud
+from repro.cloud.billing import BillingMeter, PriceTable
+from repro.cloud.faults import FaultInjector
+from repro.cloud.flavors import MEDIUM, SMALL
+from repro.cloud.images import ImageKind, ImageStore
+from repro.cloud.multicloud import MultiCloud
+from repro.cloud.openstack import OpenStackCloud
+from repro.cloud.storage import BlobStore
+from repro.core.config import EvopConfig
+from repro.data.access import AccessPolicy, GuardedWarehouse, MODEL_RUNNER
+from repro.data.catalog import AssetCatalog
+from repro.data.catchments import Catchment, STUDY_CATCHMENTS
+from repro.data.warehouse import DataWarehouse
+from repro.data.weather import DesignStorm
+from repro.hydrology.timeseries import TimeSeries
+from repro.hydrology.topmodel import TopmodelParameters
+from repro.modellib.library import CalibrationRecord, ModelLibrary
+from repro.modellib.processes import (
+    make_fuse_process,
+    make_topmodel_process,
+    make_water_quality_process,
+)
+from repro.portal.left import LeftTool
+from repro.services.channels import PushGateway
+from repro.services.registry import ServiceRegistry
+from repro.services.transport import Network
+from repro.sim import RandomStreams, Simulator
+
+_POLICIES: Dict[str, type] = {
+    "private-first": PrivateFirstPolicy,
+    "workload-split": WorkloadSplitPolicy,
+    "private-only": PrivateOnlyPolicy,
+    "public-only": PublicOnlyPolicy,
+}
+
+
+class Evop:
+    """One simulated EVOp deployment."""
+
+    def __init__(self, config: Optional[EvopConfig] = None):
+        self.config = config or EvopConfig()
+        self.sim = Simulator()
+        self.streams = RandomStreams(self.config.seed)
+
+        # hybrid cloud
+        self.meter = BillingMeter(self.sim)
+        self.meter.register_provider(
+            "openstack", PriceTable(dict(self.config.private_prices)))
+        self.meter.register_provider(
+            "aws", PriceTable(dict(self.config.public_prices),
+                              minimum_billed_seconds=60.0))
+        self.private = OpenStackCloud(
+            self.sim, total_vcpus=self.config.private_vcpus,
+            streams=self.streams, meter=self.meter)
+        self.public = AwsCloud(
+            self.sim, account_instance_limit=self.config.public_account_limit,
+            streams=self.streams, meter=self.meter)
+        self.multicloud = MultiCloud()
+        self.multicloud.register_compute("private", self.private)
+        self.multicloud.register_compute("public", self.public)
+
+        # storage + data
+        self.storage = BlobStore(self.sim, name="evop-store")
+        self.multicloud.register_blobstore("private", self.storage)
+        self.warehouse = DataWarehouse(self.storage)
+        self.access = AccessPolicy()
+        # the view model executions read data through: delegated compute
+        # may use restricted datasets without handing them to end users
+        self.model_warehouse = GuardedWarehouse(
+            self.warehouse, self.access, MODEL_RUNNER)
+        self.catalog = AssetCatalog()
+
+        # services fabric
+        self.network = Network(self.sim, streams=self.streams)
+        self.registry = ServiceRegistry()
+
+        # model library
+        self.images = ImageStore()
+        self.library = ModelLibrary(self.images)
+
+        # infrastructure manager
+        self.sessions = SessionTable(self.sim)
+        self.monitor = HealthMonitor(
+            self.sim, interval=self.config.health_interval,
+            window=self.config.health_window)
+        policy_cls = _POLICIES.get(self.config.policy)
+        if policy_cls is None:
+            raise ValueError(f"unknown policy {self.config.policy!r}; "
+                             f"choose from {sorted(_POLICIES)}")
+        self.policy: SchedulingPolicy = policy_cls()
+        self.lb = LoadBalancer(
+            self.sim, self.multicloud, self.network, self.sessions,
+            self.policy, monitor=self.monitor, registry=self.registry,
+            autoscale_interval=self.config.autoscale_interval)
+        self.injector = FaultInjector(self.sim, [self.private, self.public],
+                                      streams=self.streams)
+
+        self.rb: Optional[ResourceBroker] = None
+        self.left_tools: Dict[str, LeftTool] = {}
+        self.truths: Dict[str, Dict[str, TimeSeries]] = {}
+        self._bootstrapped = False
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def bootstrap(self) -> "Evop":
+        """Publish models, start services, deploy sensors, open the RB."""
+        if self._bootstrapped:
+            return self
+        self._gateway_up()
+        for name in self.config.catchments:
+            catchment = STUDY_CATCHMENTS[name]
+            self._publish_models(catchment)
+            self._manage_service(catchment)
+            self._instrument_catchment(catchment)
+        self._bootstrapped = True
+        return self
+
+    def run_until(self, t: float) -> float:
+        """Advance the simulation to absolute time ``t``."""
+        return self.sim.run(until=t)
+
+    def run_for(self, seconds: float) -> float:
+        """Advance the simulation by ``seconds``."""
+        return self.sim.run(until=self.sim.now + seconds)
+
+    # -- wiring helpers ----------------------------------------------------------------
+
+    def _gateway_up(self) -> None:
+        """Boot the Resource Broker's own host and its push gateway."""
+        gateway_image = self.images.create("broker-host", ImageKind.GENERIC,
+                                           size_gb=1.5)
+        gateway_instance = self.private.launch(gateway_image, SMALL)
+        self.sim.run(until=self.sim.now + 120.0)
+        gateway = PushGateway(self.sim, gateway_instance,
+                              streams=self.streams)
+        self.rb = ResourceBroker(self.sim, self.lb, self.sessions, gateway)
+
+    def _publish_models(self, catchment: Catchment) -> None:
+        def topmodel_factory(c: Catchment):
+            return make_topmodel_process(c, warehouse=self.model_warehouse)
+
+        def fuse_factory(c: Catchment):
+            return make_fuse_process(c, warehouse=self.model_warehouse)
+
+        self.library.publish_streamlined(
+            f"topmodel-{catchment.name}", catchment, topmodel_factory,
+            calibration=CalibrationRecord(
+                catchment=catchment.name, objective="NSE", score=0.82,
+                parameters={"m": 15.0, "td": 0.5}, iterations=500),
+            dataset_ids=(f"{catchment.name}/rainfall",
+                         f"{catchment.name}/discharge"),
+        )
+        self.library.publish_streamlined(
+            f"fuse-{catchment.name}", catchment, fuse_factory,
+            calibration=CalibrationRecord(
+                catchment=catchment.name, objective="NSE", score=0.78,
+                parameters={"k_base": 0.02}, iterations=500),
+            dataset_ids=(f"{catchment.name}/rainfall",),
+            bundle_size_gb=7.0,
+        )
+        # the stakeholders' next storyboard ships on the incubator path -
+        # exactly what the paper calls "a useful testing ground"
+        def quality_factory(c: Catchment):
+            return make_water_quality_process(
+                c, warehouse=self.model_warehouse)
+
+        self.library.publish_experimental(
+            f"water-quality-{catchment.name}", catchment, quality_factory,
+            install_minutes=6.0)
+
+    def service_name(self, catchment_name: str) -> str:
+        """The managed-service name of one catchment's LEFT models."""
+        return f"left-{catchment_name}"
+
+    def _manage_service(self, catchment: Catchment) -> None:
+        status = self.storage.create_container(f"wps-status-{catchment.name}")
+        wps = self.library.build_service(
+            self.sim, self.service_name(catchment.name),
+            [f"topmodel-{catchment.name}", f"fuse-{catchment.name}",
+             f"water-quality-{catchment.name}"],
+            status, {catchment.name: catchment})
+        image = self.library.image_for(f"topmodel-{catchment.name}")
+
+        def make_server(instance):
+            return wps.replica(instance).bind(self.network)
+
+        service = ManagedService(
+            name=self.service_name(catchment.name),
+            image=image,
+            flavor=MEDIUM,
+            make_server=make_server,
+            purpose="modelling",
+            sessions_per_replica=self.config.sessions_per_replica,
+            min_replicas=self.config.min_replicas,
+            max_replicas=self.config.max_replicas,
+        )
+        self.lb.manage(service)
+
+    def _instrument_catchment(self, catchment: Catchment) -> None:
+        """Generate truth series, deploy sensors, fill the catalogue."""
+        hours = self.config.truth_days * 24
+        generator = catchment.weather_generator(
+            self.streams.fork(catchment.name))
+        storm = DesignStorm(
+            start_hour=self.config.storm_day * 24,
+            duration_hours=8,
+            total_depth_mm=self.config.storm_depth_mm)
+        rain = generator.rainfall_with_storm(hours, storm,
+                                             start_day_of_year=330)
+        temperature = generator.temperature(hours, start_day_of_year=330)
+        flow = catchment.topmodel().run(
+            rain, parameters=TopmodelParameters(q0_mm_h=0.3)).flow
+        # stage-discharge: a simple rating curve for the level sensor
+        level = flow.map(lambda q: 0.3 + 0.45 * math.sqrt(max(0.0, q)))
+        turbidity = flow.map(lambda q: 4.0 + 18.0 * q)
+        self.truths[catchment.name] = {
+            "rainfall": rain, "temperature": temperature,
+            "flow": flow, "level": level, "turbidity": turbidity,
+        }
+        self.warehouse.put_series(f"{catchment.name}/rainfall", rain,
+                                  provenance="synthetic truth")
+        self.warehouse.put_series(f"{catchment.name}/discharge", flow,
+                                  provenance="synthetic truth")
+
+        def lookup(series: TimeSeries):
+            last = series.end - series.dt
+
+            def truth(t: float) -> float:
+                return series.at(min(max(t, series.start), last))
+
+            return truth
+
+        assert self.rb is not None
+        tool = LeftTool(self.sim, catchment, self.catalog, self.network,
+                        self.rb, self.service_name(catchment.name),
+                        streams=self.streams)
+        tool.deploy_sensors(
+            river_level_truth=lookup(level),
+            rainfall_truth=lookup(rain),
+            temperature_truth=lookup(temperature),
+            turbidity_truth=lookup(turbidity),
+        )
+        tool.build_catalog()
+        self.left_tools[catchment.name] = tool
+
+    def expose_sos(self, catchment_name: Optional[str] = None,
+                   replicas: int = 1) -> str:
+        """Publish a catchment's sensor network as an OGC SOS service.
+
+        Returns the managed-service name.  Deployed on demand (not at
+        bootstrap) so minimal deployments stay minimal; the service is
+        LB-managed like any other and serves GetCapabilities /
+        DescribeSensor / GetObservation for every in-situ instrument.
+        """
+        if not self._bootstrapped:
+            raise RuntimeError("call bootstrap() first")
+        name = catchment_name or self.config.catchments[0]
+        service_name = f"sos-{name}"
+        if any(s.name == service_name for s in self.lb.services()):
+            return service_name
+        from repro.cloud.flavors import SMALL
+        from repro.services.sos import SosService
+
+        tool = self.left_tools[name]
+        sos = SosService(self.sim, service_name, tool.sensors)
+        sos_image = self.images.create(f"sos-host-{name}", ImageKind.GENERIC,
+                                       size_gb=1.2)
+
+        def make_server(instance):
+            return sos.replica(instance).bind(self.network)
+
+        self.lb.manage(ManagedService(
+            name=service_name,
+            image=sos_image,
+            flavor=SMALL,
+            make_server=make_server,
+            purpose="sensor-data",
+            sessions_per_replica=32,
+            min_replicas=replicas,
+        ))
+        return service_name
+
+    # -- conveniences -------------------------------------------------------------------
+
+    def left(self, catchment_name: Optional[str] = None) -> LeftTool:
+        """The LEFT tool of one catchment (default: the first configured)."""
+        if not self._bootstrapped:
+            raise RuntimeError("call bootstrap() first")
+        name = catchment_name or self.config.catchments[0]
+        return self.left_tools[name]
+
+    def cost_report(self) -> Dict[str, float]:
+        """Accrued cost per provider plus the total."""
+        report = self.meter.cost_by_provider()
+        report["total"] = sum(report.values())
+        return report
+
+    def instances_by_location(self) -> Dict[str, int]:
+        """Live instance counts per location."""
+        return {location: len(self.multicloud.list_nodes(location))
+                for location in self.multicloud.locations()}

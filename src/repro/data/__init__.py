@@ -1,0 +1,65 @@
+"""Environmental data assets: the observational side of the observatory.
+
+The portal's promise is uniform access to "live data feeds (such as real
+time river level, temperature, etc.), historical time series or spatial
+datasets (e.g. rainfall measurements and digital elevation models) and
+others (e.g. webcam images)" from in-situ, warehoused and external
+origins.  This package synthesises all of it:
+
+* :mod:`repro.data.dem` — synthetic DEMs and the D8 flow-accumulation
+  pipeline that derives TOPMODEL's topographic-index distribution;
+* :mod:`repro.data.weather` — stochastic hourly rainfall (Markov
+  wet/dry chain with gamma intensities, seasonal modulation) and
+  temperature, plus design storms;
+* :mod:`repro.data.sensors` — geotagged in-situ sensor networks with
+  live feeds, exposing the SOS observation-source interface;
+* :mod:`repro.data.webcam` — timestamped webcam archives;
+* :mod:`repro.data.catalog` — the geospatial asset catalogue the map
+  front-end queries;
+* :mod:`repro.data.catchments` — the study catchments (Eden plus the
+  three LEFT catchments: Morland, Tarland, Machynlleth).
+"""
+
+from repro.data.dem import DemGrid, topographic_index_distribution
+from repro.data.weather import DesignStorm, WeatherGenerator
+from repro.data.sensors import Sensor, SensorNetwork
+from repro.data.webcam import WebcamArchive, WebcamFrame
+from repro.data.catalog import Asset, AssetCatalog, AssetOrigin, BoundingBox
+from repro.data.catchments import Catchment, STUDY_CATCHMENTS, catchment_from_dem
+from repro.data.warehouse import DataWarehouse
+from repro.data.quality import QualityFlag, QualityReport, quality_control
+from repro.data.search import CatalogSearch, SearchHit
+from repro.data.access import (
+    AccessDenied,
+    AccessPolicy,
+    GuardedWarehouse,
+    MODEL_RUNNER,
+)
+
+__all__ = [
+    "AccessDenied",
+    "AccessPolicy",
+    "Asset",
+    "AssetCatalog",
+    "AssetOrigin",
+    "BoundingBox",
+    "CatalogSearch",
+    "Catchment",
+    "DataWarehouse",
+    "GuardedWarehouse",
+    "MODEL_RUNNER",
+    "DemGrid",
+    "QualityFlag",
+    "QualityReport",
+    "catchment_from_dem",
+    "quality_control",
+    "DesignStorm",
+    "STUDY_CATCHMENTS",
+    "Sensor",
+    "SearchHit",
+    "SensorNetwork",
+    "WeatherGenerator",
+    "WebcamArchive",
+    "WebcamFrame",
+    "topographic_index_distribution",
+]

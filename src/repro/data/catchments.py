@@ -1,0 +1,154 @@
+"""The study catchments.
+
+EVOp's hydrology exemplars centre on the Eden catchment (Cumbria) for
+the national tool and three largely rural catchments for LEFT: Morland
+(Cumbria, England), Tarland (Aberdeenshire, Scotland) and Machynlleth
+(Powys, Wales) — "all had suffered from floods within the past five
+years".  Physical descriptors are plausible synthetic stand-ins for the
+real datasets (which are not redistributable); each catchment carries
+the topographic-index distribution TOPMODEL needs, a weather-generator
+configuration, and the flood-warning threshold the widgets display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.data.weather import WeatherGenerator
+from repro.hydrology.topmodel import Topmodel
+from repro.sim import RandomStreams
+
+
+@dataclass(frozen=True)
+class Catchment:
+    """Static description of one study catchment."""
+
+    name: str
+    display_name: str
+    country: str
+    latitude: float
+    longitude: float
+    area_km2: float
+    mean_ti: float
+    ti_spread: float
+    annual_rainfall_mm: float
+    flood_threshold_mm_h: float      # outlet flow triggering a warning
+    description: str = ""
+    #: a DEM-derived TI distribution; overrides the analytic one when set
+    custom_ti: Optional[Tuple[Tuple[float, float], ...]] = None
+
+    def ti_distribution(self, classes: int = 15) -> List[Tuple[float, float]]:
+        """The catchment's topographic-index distribution.
+
+        Catchments built from a DEM carry their derived distribution;
+        otherwise a smooth analytic stand-in around ``mean_ti`` is used.
+        """
+        if self.custom_ti is not None:
+            return [tuple(pair) for pair in self.custom_ti]
+        return Topmodel.exponential_ti_distribution(
+            mean_ti=self.mean_ti, spread=self.ti_spread, classes=classes)
+
+    def topmodel(self, dt_hours: float = 1.0) -> Topmodel:
+        """A TOPMODEL instance configured for this catchment."""
+        return Topmodel(self.ti_distribution(), dt_hours=dt_hours)
+
+    def weather_generator(self, streams: Optional[RandomStreams] = None
+                          ) -> WeatherGenerator:
+        """A weather generator tuned to this catchment's climate."""
+        return WeatherGenerator(
+            streams=streams,
+            catchment_name=self.name,
+            annual_rainfall_mm=self.annual_rainfall_mm,
+            latitude_deg=self.latitude,
+        )
+
+    def flood_threshold_m3s(self) -> float:
+        """The warning threshold expressed as discharge."""
+        return self.flood_threshold_mm_h * self.area_km2 * 1e6 * 1e-3 / 3600.0
+
+
+def catchment_from_dem(name: str, display_name: str, dem,
+                       latitude: float, longitude: float,
+                       country: str = "",
+                       annual_rainfall_mm: float = 1200.0,
+                       flood_threshold_mm_h: float = 2.0,
+                       classes: int = 15) -> Catchment:
+    """Build a catchment whose TI distribution comes from a real DEM.
+
+    The DEM's cell count and size fix the area; the D8 topographic-index
+    field is binned into the distribution TOPMODEL consumes.  This is
+    the pipeline a real deployment runs on survey data; the analytic
+    catchments in :data:`STUDY_CATCHMENTS` are its stand-ins.
+    """
+    from repro.data.dem import topographic_index_distribution
+    distribution = topographic_index_distribution(dem, classes=classes)
+    mean_ti = sum(t * f for t, f in distribution)
+    area_km2 = dem.rows * dem.cols * (dem.cell / 1000.0) ** 2
+    return Catchment(
+        name=name,
+        display_name=display_name,
+        country=country,
+        latitude=latitude,
+        longitude=longitude,
+        area_km2=area_km2,
+        mean_ti=mean_ti,
+        ti_spread=1.0,
+        annual_rainfall_mm=annual_rainfall_mm,
+        flood_threshold_mm_h=flood_threshold_mm_h,
+        description=f"derived from a {dem.rows}x{dem.cols} DEM",
+        custom_ti=tuple(tuple(pair) for pair in distribution),
+    )
+
+
+#: The four catchments of the paper, keyed by short name.
+STUDY_CATCHMENTS: Dict[str, Catchment] = {
+    "eden": Catchment(
+        name="eden",
+        display_name="River Eden",
+        country="England",
+        latitude=54.66, longitude=-2.75,
+        area_km2=2286.0,
+        mean_ti=7.1, ti_spread=1.3,
+        annual_rainfall_mm=1180.0,
+        flood_threshold_mm_h=1.2,
+        description=("The large Cumbrian catchment used to calibrate and "
+                     "test TOPMODEL for the national exemplar."),
+    ),
+    "morland": Catchment(
+        name="morland",
+        display_name="Morland Beck",
+        country="England",
+        latitude=54.59, longitude=-2.61,
+        area_km2=12.5,
+        mean_ti=6.8, ti_spread=1.2,
+        annual_rainfall_mm=1150.0,
+        flood_threshold_mm_h=2.0,
+        description=("Rural Cumbrian sub-catchment; LEFT workshop site with "
+                     "villagers, farmers and catchment managers."),
+    ),
+    "tarland": Catchment(
+        name="tarland",
+        display_name="Tarland Burn",
+        country="Scotland",
+        latitude=57.12, longitude=-2.86,
+        area_km2=25.0,
+        mean_ti=7.0, ti_spread=1.1,
+        annual_rainfall_mm=900.0,
+        flood_threshold_mm_h=1.6,
+        description=("Aberdeenshire catchment with a track record of "
+                     "community engagement and in-situ sensors."),
+    ),
+    "machynlleth": Catchment(
+        name="machynlleth",
+        display_name="Afon Dulas at Machynlleth",
+        country="Wales",
+        latitude=52.59, longitude=-3.85,
+        area_km2=48.0,
+        mean_ti=6.5, ti_spread=1.4,
+        annual_rainfall_mm=1800.0,
+        flood_threshold_mm_h=2.4,
+        description=("Steep Welsh catchment in Powys; the wettest of the "
+                     "three LEFT sites."),
+    ),
+}

@@ -1,0 +1,184 @@
+"""Quality control for observational series.
+
+The introduction's data-challenges list is the reason EVOp exists:
+environmental data "can be insufficient or incomplete ... and/or require
+significant pre-processing before they may be considered usable".  This
+module is that pre-processing, applied to in-situ sensor series before
+they feed models or widgets:
+
+* **range checks** against the physical limits of the observed property;
+* **spike detection** (a Hampel-style moving-median filter);
+* **flatline detection** (a stuck sensor repeats one value);
+* **gap accounting** and filling.
+
+:func:`quality_control` runs the pipeline and returns both the cleaned
+series and a :class:`QualityReport` itemising every intervention — the
+provenance the 'scientist wants to know how the data are collected'
+persona asks for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hydrology.timeseries import TimeSeries
+
+#: Physical plausibility limits per observed property (min, max).
+PHYSICAL_LIMITS: Dict[str, Tuple[float, float]] = {
+    "rainfall": (0.0, 120.0),          # mm/h; world-record scale upper bound
+    "river_level": (0.0, 15.0),        # m
+    "water_temperature": (-1.0, 35.0),  # degC
+    "turbidity": (0.0, 4000.0),        # NTU
+}
+
+
+@dataclass(frozen=True)
+class QualityFlag:
+    """One flagged sample."""
+
+    index: int
+    time: float
+    value: float
+    reason: str      # "out-of-range" | "spike" | "flatline" | "gap"
+
+
+@dataclass
+class QualityReport:
+    """Everything the QC pipeline did to a series."""
+
+    property_name: str
+    total_samples: int
+    flags: List[QualityFlag] = field(default_factory=list)
+
+    def count(self, reason: Optional[str] = None) -> int:
+        """Flags overall or of one reason."""
+        if reason is None:
+            return len(self.flags)
+        return sum(1 for f in self.flags if f.reason == reason)
+
+    def flagged_fraction(self) -> float:
+        """Share of samples that needed intervention."""
+        if self.total_samples == 0:
+            return 0.0
+        return len(self.flags) / self.total_samples
+
+    def usable(self, max_flagged: float = 0.25) -> bool:
+        """Whether the cleaned series should be trusted at all."""
+        return self.flagged_fraction() <= max_flagged
+
+
+def detect_out_of_range(series: TimeSeries,
+                        limits: Tuple[float, float]) -> List[int]:
+    """Indices whose values fall outside the physical limits."""
+    lo, hi = limits
+    return [i for i, v in enumerate(series)
+            if not math.isnan(v) and not lo <= v <= hi]
+
+
+def detect_spikes(series: TimeSeries, window: int = 5,
+                  threshold: float = 5.0) -> List[int]:
+    """Hampel-style spike detection.
+
+    A sample is a spike when it deviates from the moving median of its
+    window by more than ``threshold`` times the window's median absolute
+    deviation (with a small floor so constant stretches don't flag
+    everything).
+    """
+    if window < 3 or window % 2 == 0:
+        raise ValueError("window must be an odd number >= 3")
+    values = series.values
+    half = window // 2
+    spikes = []
+    for i in range(len(values)):
+        v = values[i]
+        if math.isnan(v):
+            continue
+        lo = max(0, i - half)
+        hi = min(len(values), i + half + 1)
+        neighbourhood = [x for j, x in enumerate(values[lo:hi], start=lo)
+                         if j != i and not math.isnan(x)]
+        if len(neighbourhood) < 2:
+            continue
+        med = _median(neighbourhood)
+        mad = _median([abs(x - med) for x in neighbourhood])
+        scale = max(mad, 0.05 * max(1e-9, abs(med)), 1e-6)
+        if abs(v - med) > threshold * scale:
+            spikes.append(i)
+    return spikes
+
+
+def detect_flatlines(series: TimeSeries, min_run: int = 8) -> List[int]:
+    """Indices inside runs of >= ``min_run`` identical values.
+
+    Zero is exempt for rainfall-like series: long dry spells are real.
+    """
+    values = series.values
+    flat = []
+    run_start = 0
+    for i in range(1, len(values) + 1):
+        ended = i == len(values) or values[i] != values[run_start] \
+            or math.isnan(values[run_start])
+        if ended:
+            run_length = i - run_start
+            if (run_length >= min_run and not math.isnan(values[run_start])
+                    and values[run_start] != 0.0):
+                flat.extend(range(run_start, i))
+            run_start = i
+    return flat
+
+
+def quality_control(series: TimeSeries, property_name: str,
+                    limits: Optional[Tuple[float, float]] = None,
+                    spike_window: int = 5, spike_threshold: float = 5.0,
+                    flatline_run: int = 8,
+                    fill: str = "interpolate"
+                    ) -> Tuple[TimeSeries, QualityReport]:
+    """Run the full QC pipeline.
+
+    Flagged samples are replaced by NaN and then gap-filled with the
+    chosen method; pre-existing gaps are reported too.  Returns
+    ``(cleaned_series, report)``.
+    """
+    if limits is None:
+        limits = PHYSICAL_LIMITS.get(property_name)
+    report = QualityReport(property_name=property_name,
+                           total_samples=len(series))
+    values = series.values
+    times = series.times()
+
+    def flag(index: int, reason: str) -> None:
+        report.flags.append(QualityFlag(index=index, time=times[index],
+                                        value=values[index], reason=reason))
+
+    for i, v in enumerate(values):
+        if math.isnan(v):
+            flag(i, "gap")
+    if limits is not None:
+        for i in detect_out_of_range(series, limits):
+            flag(i, "out-of-range")
+    for i in detect_spikes(series, spike_window, spike_threshold):
+        if not any(f.index == i for f in report.flags):
+            flag(i, "spike")
+    for i in detect_flatlines(series, flatline_run):
+        if not any(f.index == i for f in report.flags):
+            flag(i, "flatline")
+
+    scrubbed = list(values)
+    for f in report.flags:
+        if f.reason != "gap":
+            scrubbed[f.index] = math.nan
+    cleaned = TimeSeries(series.start, series.dt, scrubbed,
+                         units=series.units,
+                         name=f"{series.name}:qc").fill_gaps(fill)
+    return cleaned, report
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0

@@ -1,0 +1,64 @@
+"""Warehoused datasets over the blob store.
+
+The 'warehoused data stores' origin: historical series and spatial
+datasets curated by the EVOp team or partners, kept in object storage
+and catalogued with units/provenance metadata.  The warehouse
+(de)serialises :class:`~repro.hydrology.timeseries.TimeSeries` payloads
+so the data layer and the storage substrate stay decoupled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cloud.storage import BlobStore, Container
+from repro.hydrology.timeseries import TimeSeries
+
+
+class DataWarehouse:
+    """Named datasets in one blob-store container."""
+
+    CONTAINER = "warehouse"
+
+    def __init__(self, store: BlobStore):
+        self._container: Container = store.create_container(self.CONTAINER)
+
+    def put_series(self, dataset_id: str, series: TimeSeries,
+                   provenance: str = "") -> None:
+        """Store a time series under ``dataset_id``."""
+        payload = {
+            "start": series.start,
+            "dt": series.dt,
+            "values": series.values,
+            "units": series.units,
+            "name": series.name,
+        }
+        self._container.put(dataset_id, payload, metadata={
+            "type": "timeseries",
+            "units": series.units,
+            "provenance": provenance,
+            "length": str(len(series)),
+        })
+
+    def get_series(self, dataset_id: str) -> TimeSeries:
+        """Fetch a stored series (raises BlobNotFound if absent)."""
+        blob = self._container.get(dataset_id)
+        payload = blob.payload
+        return TimeSeries(payload["start"], payload["dt"], payload["values"],
+                          units=payload["units"], name=payload["name"])
+
+    def exists(self, dataset_id: str) -> bool:
+        """Whether a dataset is stored."""
+        return self._container.exists(dataset_id)
+
+    def delete(self, dataset_id: str) -> None:
+        """Remove a dataset."""
+        self._container.delete(dataset_id)
+
+    def list(self, prefix: str = "") -> List[str]:
+        """Dataset ids with the given prefix, sorted."""
+        return self._container.list(prefix)
+
+    def describe(self, dataset_id: str) -> Dict[str, str]:
+        """A dataset's metadata (units, provenance, length)."""
+        return dict(self._container.get(dataset_id).metadata)

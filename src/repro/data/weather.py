@@ -1,0 +1,163 @@
+"""Stochastic weather generation for the study catchments.
+
+Stands in for the Met Office rainfall records and in-situ gauges the
+project used.  Hourly rainfall comes from a two-state Markov chain
+(wet/dry persistence) with gamma-distributed wet-hour depths and a
+seasonal modulation peaking in winter (UK upland regime); temperature is
+a seasonal + diurnal sinusoid with AR(1) noise.  A
+:class:`DesignStorm` can be superimposed to create the flood events the
+LEFT storyboard explores.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.hydrology.timeseries import TimeSeries
+from repro.sim import RandomStreams
+
+#: Seconds in an hour; every series this module emits is hourly.
+HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class DesignStorm:
+    """A synthetic storm to superimpose on generated rainfall.
+
+    ``profile`` shapes are 'triangular' (ramp up then down) or 'front'
+    (peak first, long tail).
+    """
+
+    start_hour: int
+    duration_hours: int
+    total_depth_mm: float
+    profile: str = "triangular"
+
+    def depths(self) -> List[float]:
+        """Per-hour depths summing to ``total_depth_mm``."""
+        n = self.duration_hours
+        if n <= 0:
+            raise ValueError("storm duration must be positive")
+        if self.profile == "triangular":
+            apex = (n - 1) / 2.0
+            weights = [1.0 + min(i, n - 1 - i) for i in range(n)] \
+                if n > 1 else [1.0]
+            weights = [max(0.1, 1.0 - abs(i - apex) / (apex + 1.0))
+                       for i in range(n)]
+        elif self.profile == "front":
+            weights = [math.exp(-i / max(1.0, n / 3.0)) for i in range(n)]
+        else:
+            raise ValueError(f"unknown storm profile {self.profile!r}")
+        total = sum(weights)
+        return [self.total_depth_mm * w / total for w in weights]
+
+
+class WeatherGenerator:
+    """Deterministic (seeded) hourly weather for one catchment."""
+
+    def __init__(self, streams: Optional[RandomStreams] = None,
+                 catchment_name: str = "catchment",
+                 annual_rainfall_mm: float = 1200.0,
+                 wet_persistence: float = 0.72,
+                 dry_persistence: float = 0.88,
+                 gamma_shape: float = 0.65,
+                 mean_temperature_c: float = 9.0,
+                 seasonal_amplitude_c: float = 6.5,
+                 diurnal_amplitude_c: float = 3.0,
+                 latitude_deg: float = 54.5):
+        if not 0 < wet_persistence < 1 or not 0 < dry_persistence < 1:
+            raise ValueError("persistences must be in (0, 1)")
+        self.streams = streams or RandomStreams()
+        self.catchment_name = catchment_name
+        self.annual_rainfall_mm = annual_rainfall_mm
+        self.wet_persistence = wet_persistence
+        self.dry_persistence = dry_persistence
+        self.gamma_shape = gamma_shape
+        self.mean_temperature_c = mean_temperature_c
+        self.seasonal_amplitude_c = seasonal_amplitude_c
+        self.diurnal_amplitude_c = diurnal_amplitude_c
+        self.latitude_deg = latitude_deg
+
+    # expected wet fraction of the chain's stationary distribution
+    def _wet_fraction(self) -> float:
+        p01 = 1.0 - self.dry_persistence   # dry -> wet
+        p10 = 1.0 - self.wet_persistence   # wet -> dry
+        return p01 / (p01 + p10)
+
+    def _seasonal_factor(self, hour: int) -> float:
+        """Rainfall modulation: winter-wet regime (peak around January)."""
+        doy = (hour / 24.0) % 365.0
+        return 1.0 + 0.45 * math.cos(2 * math.pi * doy / 365.0)
+
+    def rainfall(self, hours: int, start: float = 0.0,
+                 start_day_of_year: int = 1) -> TimeSeries:
+        """Hourly rainfall series (mm/h) of the given length."""
+        rng = self.streams.get(f"weather.rain.{self.catchment_name}")
+        mean_hourly = self.annual_rainfall_mm / (365.0 * 24.0)
+        wet_fraction = self._wet_fraction()
+        mean_wet_depth = mean_hourly / wet_fraction
+        scale = mean_wet_depth / self.gamma_shape
+
+        values: List[float] = []
+        wet = rng.random() < wet_fraction
+        for h in range(hours):
+            hour_of_year = (start_day_of_year - 1) * 24 + h
+            if wet:
+                depth = rng.gammavariate(self.gamma_shape, scale)
+                values.append(depth * self._seasonal_factor(hour_of_year))
+                wet = rng.random() < self.wet_persistence
+            else:
+                values.append(0.0)
+                wet = rng.random() >= self.dry_persistence
+        return TimeSeries(start, HOUR, values, units="mm/h",
+                          name=f"{self.catchment_name}:rainfall")
+
+    def rainfall_with_storm(self, hours: int, storm: DesignStorm,
+                            start: float = 0.0,
+                            start_day_of_year: int = 1) -> TimeSeries:
+        """Generated rainfall plus a superimposed design storm."""
+        base = self.rainfall(hours, start, start_day_of_year)
+        values = base.values
+        for i, depth in enumerate(storm.depths()):
+            index = storm.start_hour + i
+            if 0 <= index < len(values):
+                values[index] += depth
+        return TimeSeries(start, HOUR, values, units="mm/h", name=base.name)
+
+    def temperature(self, hours: int, start: float = 0.0,
+                    start_day_of_year: int = 1) -> TimeSeries:
+        """Hourly air temperature (°C): seasonal + diurnal + AR(1) noise."""
+        rng = self.streams.get(f"weather.temp.{self.catchment_name}")
+        values: List[float] = []
+        noise = 0.0
+        for h in range(hours):
+            hour_of_year = (start_day_of_year - 1) * 24 + h
+            doy = (hour_of_year / 24.0) % 365.0
+            seasonal = -self.seasonal_amplitude_c * math.cos(
+                2 * math.pi * (doy - 15) / 365.0)
+            diurnal = -self.diurnal_amplitude_c * math.cos(
+                2 * math.pi * (h % 24) / 24.0)
+            noise = 0.85 * noise + rng.gauss(0.0, 0.6)
+            values.append(self.mean_temperature_c + seasonal + diurnal + noise)
+        return TimeSeries(start, HOUR, values, units="degC",
+                          name=f"{self.catchment_name}:temperature")
+
+    def daily_pet(self, hours: int, start: float = 0.0,
+                  start_day_of_year: int = 1) -> TimeSeries:
+        """Hourly PET (mm/h) from Oudin on daily-mean temperature."""
+        from repro.hydrology.pet import oudin_pet
+        temperature = self.temperature(hours, start, start_day_of_year)
+        days = max(1, hours // 24)
+        daily_means = []
+        for d in range(days):
+            chunk = temperature.values[d * 24:(d + 1) * 24]
+            daily_means.append(sum(chunk) / len(chunk))
+        daily = oudin_pet(daily_means, self.latitude_deg, start_day_of_year)
+        hourly = []
+        for h in range(hours):
+            day = min(days - 1, h // 24)
+            hourly.append(daily[day] / 24.0)
+        return TimeSeries(start, HOUR, hourly, units="mm/h",
+                          name=f"{self.catchment_name}:pet")

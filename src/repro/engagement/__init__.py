@@ -1,0 +1,41 @@
+"""The participatory-design process, reified.
+
+The paper's second contribution is methodological: storyboards owned by
+domain specialists, short verification cycles and longer validation
+cycles (Figures 2 and 3), and stakeholder workshops whose feedback both
+educates the team and is educated by it (Figure 7: "awareness is not
+enough to ensure engagement").  Making the process executable turns its
+claims — cadences, bidirectional dialogue, the >75% usability outcome,
+the education→engagement effect — into things benches can measure.
+"""
+
+from repro.engagement.storyboard import Requirement, Storyboard, StoryboardStep
+from repro.engagement.tdd import (
+    Artefact,
+    ArtefactState,
+    CyclePhase,
+    DevelopmentProcess,
+)
+from repro.engagement.traceability import LEFT_PROBES, verify_left_requirements
+from repro.engagement.stakeholders import (
+    EngagementFunnel,
+    FeedbackEntry,
+    StakeholderGroup,
+    Workshop,
+)
+
+__all__ = [
+    "Artefact",
+    "ArtefactState",
+    "CyclePhase",
+    "DevelopmentProcess",
+    "EngagementFunnel",
+    "FeedbackEntry",
+    "LEFT_PROBES",
+    "Requirement",
+    "StakeholderGroup",
+    "Storyboard",
+    "StoryboardStep",
+    "Workshop",
+    "verify_left_requirements",
+]

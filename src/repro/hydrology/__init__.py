@@ -1,0 +1,82 @@
+"""Hydrological modelling: the science behind the LEFT widget.
+
+EVOp's local flooding exemplar deploys two rainfall-runoff models in the
+cloud: **TOPMODEL** (Beven & Kirkby's topographic-index model) and the
+**FUSE** multi-model ensemble (Clark et al.'s modular structure
+combinator).  This package implements both from scratch, plus the
+supporting science: potential evapotranspiration, goodness-of-fit
+metrics, Monte Carlo calibration, GLUE uncertainty analysis, land-use
+scenarios and hydrograph analysis.
+
+Water-balance convention: depths in **millimetres per timestep** over the
+catchment area; :func:`~repro.hydrology.timeseries.TimeSeries` carries
+the timestep in seconds.  Conversion to discharge (m³/s) multiplies by
+catchment area.
+"""
+
+from repro.hydrology.timeseries import TimeSeries
+from repro.hydrology.metrics import (
+    kling_gupta_efficiency,
+    nash_sutcliffe_efficiency,
+    percent_bias,
+    peak_error,
+    rmse,
+)
+from repro.hydrology.pet import hamon_pet, oudin_pet
+from repro.hydrology.topmodel import TopmodelParameters, Topmodel
+from repro.hydrology.fuse import (
+    FuseDecisions,
+    FuseModel,
+    FuseParameters,
+    fuse_ensemble,
+)
+from repro.hydrology.scenarios import LandUseScenario, STANDARD_SCENARIOS
+from repro.hydrology.hydrograph import HydrographAnalysis
+from repro.hydrology.calibration import CalibrationResult, MonteCarloCalibrator
+from repro.hydrology.uncertainty import GlueAnalysis, GlueResult
+from repro.hydrology.water_quality import (
+    SCENARIO_QUALITY_FACTORS,
+    WaterQualityModel,
+    WaterQualityParameters,
+    WaterQualityResult,
+)
+from repro.hydrology.sensitivity import (
+    OatCurve,
+    RsaResult,
+    one_at_a_time,
+    rank_oat,
+    regional_sensitivity,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "FuseDecisions",
+    "FuseModel",
+    "FuseParameters",
+    "GlueAnalysis",
+    "GlueResult",
+    "HydrographAnalysis",
+    "LandUseScenario",
+    "MonteCarloCalibrator",
+    "OatCurve",
+    "RsaResult",
+    "STANDARD_SCENARIOS",
+    "TimeSeries",
+    "Topmodel",
+    "TopmodelParameters",
+    "SCENARIO_QUALITY_FACTORS",
+    "WaterQualityModel",
+    "WaterQualityParameters",
+    "WaterQualityResult",
+    "fuse_ensemble",
+    "hamon_pet",
+    "kling_gupta_efficiency",
+    "nash_sutcliffe_efficiency",
+    "one_at_a_time",
+    "oudin_pet",
+    "peak_error",
+    "rank_oat",
+    "regional_sensitivity",
+    "percent_bias",
+    "rmse",
+]

@@ -1,0 +1,313 @@
+"""FUSE — Framework for Understanding Structural Errors.
+
+Clark et al. (2008)'s insight, reproduced here in miniature: conceptual
+rainfall-runoff models differ mainly in a handful of structural
+*decisions* (upper-layer architecture, percolation, baseflow, saturated
+area, routing).  Enumerate the decisions and you get a family of
+structurally distinct models from one code base — the "multi-model
+ensemble FUSE" the paper deploys beside TOPMODEL.
+
+:class:`FuseDecisions` names the choices, :class:`FuseModel` runs one
+combination, and :func:`fuse_ensemble` enumerates and runs them all,
+yielding the ensemble spread the LEFT widget can draw as uncertainty
+bands.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hydrology.timeseries import TimeSeries
+
+#: Legal values for each structural decision.
+DECISION_SPACE: Dict[str, Tuple[str, ...]] = {
+    "upper_layer": ("single_state", "tension_free"),
+    "percolation": ("linear", "power"),
+    "baseflow": ("linear_reservoir", "nonlinear_reservoir"),
+    "saturated_area": ("power_law", "linear"),
+}
+
+
+@dataclass(frozen=True)
+class FuseDecisions:
+    """One combination of structural choices."""
+
+    upper_layer: str = "single_state"
+    percolation: str = "linear"
+    baseflow: str = "linear_reservoir"
+    saturated_area: str = "power_law"
+
+    def __post_init__(self) -> None:
+        for name, allowed in DECISION_SPACE.items():
+            value = getattr(self, name)
+            if value not in allowed:
+                raise ValueError(f"{name}={value!r} not in {allowed}")
+
+    def label(self) -> str:
+        """Compact structure label, e.g. 'single_state/linear/...'."""
+        return "/".join(getattr(self, name) for name in DECISION_SPACE)
+
+    @staticmethod
+    def all_combinations() -> List["FuseDecisions"]:
+        """Every decision combination (the full ensemble)."""
+        names = list(DECISION_SPACE)
+        combos = itertools.product(*(DECISION_SPACE[n] for n in names))
+        return [FuseDecisions(**dict(zip(names, combo))) for combo in combos]
+
+
+@dataclass(frozen=True)
+class FuseParameters:
+    """Calibratable FUSE parameters shared across structures.
+
+    ``smax_upper``/``smax_lower`` — storage capacities (mm).
+    ``phi_tension`` — tension-storage fraction of the upper layer.
+    ``k_perc``/``c_perc`` — percolation rate (mm/h) and exponent.
+    ``k_base``/``n_base`` — baseflow rate constant (1/h) and exponent.
+    ``b_sat`` — contributing-area exponent.
+    ``routing_shape``/``routing_scale_h`` — gamma routing kernel.
+    """
+
+    smax_upper: float = 50.0
+    smax_lower: float = 200.0
+    phi_tension: float = 0.4
+    k_perc: float = 2.0
+    c_perc: float = 2.0
+    k_base: float = 0.02
+    n_base: float = 2.0
+    b_sat: float = 1.5
+    routing_shape: float = 2.5
+    routing_scale_h: float = 2.0
+
+    RANGES = {
+        "smax_upper": (10.0, 150.0),
+        "smax_lower": (50.0, 500.0),
+        "phi_tension": (0.1, 0.9),
+        "k_perc": (0.1, 10.0),
+        "c_perc": (1.0, 5.0),
+        "k_base": (0.001, 0.25),
+        "n_base": (1.0, 4.0),
+        "b_sat": (0.3, 4.0),
+    }
+
+    def validated(self) -> "FuseParameters":
+        """Raise ValueError on physically meaningless values."""
+        if self.smax_upper <= 0 or self.smax_lower <= 0:
+            raise ValueError("storage capacities must be positive")
+        if not 0 < self.phi_tension < 1:
+            raise ValueError("phi_tension in (0, 1)")
+        if self.k_perc <= 0 or self.k_base <= 0:
+            raise ValueError("rate constants must be positive")
+        if self.routing_shape <= 0 or self.routing_scale_h <= 0:
+            raise ValueError("routing kernel parameters must be positive")
+        return self
+
+    def with_updates(self, **kwargs) -> "FuseParameters":
+        """A copy with some fields replaced."""
+        return replace(self, **kwargs).validated()
+
+
+@dataclass
+class FuseResult:
+    """Output of one FUSE structure run."""
+
+    flow: TimeSeries
+    surface_runoff: TimeSeries
+    baseflow: TimeSeries
+    decisions: FuseDecisions
+
+    def discharge_m3s(self, area_km2: float) -> TimeSeries:
+        """Convert outlet runoff (mm/step) to discharge in m³/s."""
+        factor = area_km2 * 1e6 * 1e-3 / self.flow.dt
+        return self.flow.map(lambda v: v * factor)
+
+
+class FuseModel:
+    """One structural combination, runnable on a rainfall series."""
+
+    def __init__(self, decisions: Optional[FuseDecisions] = None,
+                 dt_hours: float = 1.0):
+        if dt_hours <= 0:
+            raise ValueError("dt_hours must be positive")
+        self.decisions = decisions or FuseDecisions()
+        self.dt_hours = dt_hours
+
+    def run(self, rainfall: TimeSeries, pet: Optional[TimeSeries] = None,
+            parameters: Optional[FuseParameters] = None) -> FuseResult:
+        """Simulate; rainfall/PET in mm/step."""
+        params = (parameters or FuseParameters()).validated()
+        if pet is not None and len(pet) != len(rainfall):
+            raise ValueError("PET series must match rainfall length")
+        dt = self.dt_hours
+        d = self.decisions
+
+        upper = 0.3 * params.smax_upper
+        tension = 0.3 * params.phi_tension * params.smax_upper
+        free = 0.0
+        lower = 0.3 * params.smax_lower
+
+        surface_out: List[float] = []
+        base_out: List[float] = []
+
+        for step in range(len(rainfall)):
+            rain = rainfall[step]
+            rain = 0.0 if math.isnan(rain) else max(0.0, rain)
+            pet_step = 0.0 if pet is None else max(0.0, pet[step])
+
+            # -- saturated contributing area from upper-layer wetness
+            if d.upper_layer == "single_state":
+                wetness = upper / params.smax_upper
+            else:
+                wetness = (tension + free) / params.smax_upper
+            wetness = min(1.0, max(0.0, wetness))
+            if d.saturated_area == "power_law":
+                contributing = wetness ** params.b_sat
+            else:
+                contributing = wetness
+            surface = rain * contributing
+            infiltration = rain - surface
+
+            # -- upper layer update + ET
+            if d.upper_layer == "single_state":
+                upper += infiltration
+                aet = pet_step * wetness
+                upper = max(0.0, upper - aet)
+                overflow = max(0.0, upper - params.smax_upper)
+                upper -= overflow
+                upper_for_perc = upper
+            else:
+                tension_cap = params.phi_tension * params.smax_upper
+                to_tension = min(infiltration, tension_cap - tension)
+                tension += to_tension
+                free += infiltration - to_tension
+                aet = pet_step * (tension / tension_cap if tension_cap else 0.0)
+                tension = max(0.0, tension - aet)
+                free_cap = params.smax_upper - tension_cap
+                overflow = max(0.0, free - free_cap)
+                free -= overflow
+                upper_for_perc = free
+            surface += overflow
+
+            # -- percolation to the lower layer
+            if d.percolation == "linear":
+                perc = params.k_perc * dt * (
+                    upper_for_perc / params.smax_upper)
+            else:
+                perc = params.k_perc * dt * (
+                    (upper_for_perc / params.smax_upper) ** params.c_perc)
+            perc = min(perc, upper_for_perc)
+            if d.upper_layer == "single_state":
+                upper -= perc
+            else:
+                free -= perc
+            lower += perc
+
+            # -- baseflow from the lower layer
+            rel_lower = min(1.0, lower / params.smax_lower)
+            if d.baseflow == "linear_reservoir":
+                baseflow = params.k_base * dt * lower
+            else:
+                baseflow = (params.k_base * dt * params.smax_lower
+                            * rel_lower ** params.n_base)
+            baseflow = min(baseflow, lower)
+            lower -= baseflow
+            lower_overflow = max(0.0, lower - params.smax_lower)
+            lower -= lower_overflow
+            baseflow += lower_overflow
+
+            surface_out.append(surface)
+            base_out.append(baseflow)
+
+        total = [s + b for s, b in zip(surface_out, base_out)]
+        routed = gamma_route(total, params.routing_shape,
+                             params.routing_scale_h / dt)
+        start, series_dt = rainfall.start, rainfall.dt
+
+        def ts(values, name):
+            return TimeSeries(start, series_dt, values, units="mm/step",
+                              name=name)
+
+        return FuseResult(
+            flow=ts(routed, f"fuse:{d.label()}"),
+            surface_runoff=ts(surface_out, "surface_runoff"),
+            baseflow=ts(base_out, "baseflow"),
+            decisions=d,
+        )
+
+
+def gamma_route(flow: Sequence[float], shape: float,
+                scale_steps: float, kernel_length: int = 48) -> List[float]:
+    """Convolve ``flow`` with a discrete gamma unit hydrograph."""
+    if shape <= 0 or scale_steps <= 0:
+        raise ValueError("gamma kernel parameters must be positive")
+    kernel = []
+    for i in range(kernel_length):
+        t = i + 0.5
+        kernel.append(t ** (shape - 1) * math.exp(-t / scale_steps))
+    total = sum(kernel)
+    kernel = [k / total for k in kernel]
+    out = [0.0] * len(flow)
+    for i, q in enumerate(flow):
+        if q == 0.0:
+            continue
+        for j, w in enumerate(kernel):
+            if i + j >= len(flow):
+                break
+            out[i + j] += q * w
+    return out
+
+
+@dataclass
+class EnsembleResult:
+    """The spread of an ensemble of FUSE structures."""
+
+    members: List[FuseResult]
+    mean: TimeSeries
+    lower: TimeSeries       # 10th percentile across members
+    upper: TimeSeries       # 90th percentile across members
+
+    def member_labels(self) -> List[str]:
+        """Structure labels in member order."""
+        return [m.decisions.label() for m in self.members]
+
+
+def fuse_ensemble(rainfall: TimeSeries, pet: Optional[TimeSeries] = None,
+                  parameters: Optional[FuseParameters] = None,
+                  decisions: Optional[Iterable[FuseDecisions]] = None,
+                  dt_hours: float = 1.0) -> EnsembleResult:
+    """Run every structure (or a chosen subset) and summarise the spread."""
+    combos = list(decisions) if decisions is not None \
+        else FuseDecisions.all_combinations()
+    if not combos:
+        raise ValueError("empty ensemble")
+    members = [FuseModel(combo, dt_hours=dt_hours).run(rainfall, pet, parameters)
+               for combo in combos]
+    n = len(rainfall)
+    mean_values, lo_values, hi_values = [], [], []
+    for i in range(n):
+        column = sorted(m.flow[i] for m in members)
+        mean_values.append(sum(column) / len(column))
+        lo_values.append(_percentile(column, 10))
+        hi_values.append(_percentile(column, 90))
+    make = lambda vals, name: TimeSeries(rainfall.start, rainfall.dt, vals,
+                                         units="mm/step", name=name)
+    return EnsembleResult(
+        members=members,
+        mean=make(mean_values, "fuse:ensemble-mean"),
+        lower=make(lo_values, "fuse:p10"),
+        upper=make(hi_values, "fuse:p90"),
+    )
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    if not ordered:
+        raise ValueError("empty column")
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[int(rank)]
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac

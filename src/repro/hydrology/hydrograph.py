@@ -1,0 +1,169 @@
+"""Hydrograph analysis: the numbers the LEFT widget reports.
+
+Given a flow series (and optionally the rainfall that drove it), extract
+the quantities stakeholders asked about — peak flow, time to peak, flood
+volume, threshold exceedance ("how do I decide when my property is at
+risk of flooding?") — plus flow-duration statistics and a simple
+event separation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.hydrology.timeseries import TimeSeries
+
+
+@dataclass(frozen=True)
+class FloodEvent:
+    """One contiguous spell above a flow threshold."""
+
+    start_time: float
+    end_time: float
+    peak: float
+    peak_time: float
+    volume: float    # sum of flow over the event, mm
+
+    @property
+    def duration(self) -> float:
+        """Event length in series time units (seconds)."""
+        return self.end_time - self.start_time
+
+
+class HydrographAnalysis:
+    """Analysis helpers over one flow series."""
+
+    def __init__(self, flow: TimeSeries,
+                 rainfall: Optional[TimeSeries] = None):
+        if len(flow) == 0:
+            raise ValueError("empty flow series")
+        self.flow = flow
+        self.rainfall = rainfall
+
+    def peak(self) -> float:
+        """Peak flow in series units."""
+        return self.flow.maximum()
+
+    def time_to_peak(self) -> float:
+        """Seconds from series start (or rainfall centroid) to the peak.
+
+        With rainfall supplied, measured from the rainfall centroid —
+        the catchment response lag; otherwise from the series start.
+        """
+        peak_time = self.flow.argmax_time()
+        if self.rainfall is not None and self.rainfall.total() > 0:
+            times = self.rainfall.times()
+            weights = self.rainfall.values
+            centroid = (sum(t * w for t, w in zip(times, weights))
+                        / self.rainfall.total())
+            return peak_time - centroid
+        return peak_time - self.flow.start
+
+    def total_volume(self) -> float:
+        """Total flow volume (sum of values), mm over the catchment."""
+        return self.flow.total()
+
+    def runoff_coefficient(self) -> float:
+        """Flow volume / rainfall volume (requires rainfall)."""
+        if self.rainfall is None:
+            raise ValueError("runoff coefficient needs the rainfall series")
+        rain_total = self.rainfall.total()
+        if rain_total == 0:
+            raise ValueError("rainfall series sums to zero")
+        return self.flow.total() / rain_total
+
+    def exceedance_fraction(self, threshold: float) -> float:
+        """Fraction of timesteps with flow above ``threshold``."""
+        values = [v for v in self.flow if not math.isnan(v)]
+        if not values:
+            return 0.0
+        return sum(1 for v in values if v > threshold) / len(values)
+
+    def flow_duration_curve(self, points: int = 20) -> List[Tuple[float, float]]:
+        """(exceedance probability, flow) pairs, high flows first."""
+        values = sorted((v for v in self.flow if not math.isnan(v)),
+                        reverse=True)
+        if not values:
+            return []
+        n = len(values)
+        curve = []
+        for i in range(points):
+            p = (i + 0.5) / points
+            index = min(n - 1, int(p * n))
+            curve.append((p, values[index]))
+        return curve
+
+    def events_above(self, threshold: float,
+                     min_gap_steps: int = 2) -> List[FloodEvent]:
+        """Contiguous flood events above ``threshold``.
+
+        Dips below the threshold shorter than ``min_gap_steps`` do not
+        split an event (sensor noise tolerance).
+        """
+        events: List[FloodEvent] = []
+        in_event = False
+        gap = 0
+        start_i = 0
+        peak_v = -math.inf
+        peak_i = 0
+        volume = 0.0
+
+        def close(end_index: int) -> None:
+            events.append(FloodEvent(
+                start_time=self.flow.start + start_i * self.flow.dt,
+                end_time=self.flow.start + end_index * self.flow.dt,
+                peak=peak_v,
+                peak_time=self.flow.start + peak_i * self.flow.dt,
+                volume=volume,
+            ))
+
+        for i, v in enumerate(self.flow):
+            above = not math.isnan(v) and v > threshold
+            if above:
+                if not in_event:
+                    in_event = True
+                    start_i = i
+                    peak_v, peak_i, volume = v, i, 0.0
+                gap = 0
+                volume += v
+                if v > peak_v:
+                    peak_v, peak_i = v, i
+            elif in_event:
+                gap += 1
+                if gap >= min_gap_steps:
+                    close(i - gap + 1)
+                    in_event = False
+                else:
+                    volume += 0.0 if math.isnan(v) else v
+        if in_event:
+            close(len(self.flow))
+        return events
+
+    def recession_constant(self) -> Optional[float]:
+        """Mean ratio q[t+1]/q[t] over strictly falling positive limbs."""
+        ratios = []
+        values = self.flow.values
+        for prev, nxt in zip(values, values[1:]):
+            if (not math.isnan(prev) and not math.isnan(nxt)
+                    and prev > 0 and 0 < nxt < prev):
+                ratios.append(nxt / prev)
+        if not ratios:
+            return None
+        return sum(ratios) / len(ratios)
+
+    def summary(self, threshold: Optional[float] = None) -> dict:
+        """One-widget summary dict (what Fig. 6's panel displays)."""
+        out = {
+            "peak": self.peak(),
+            "peak_time": self.flow.argmax_time(),
+            "time_to_peak": self.time_to_peak(),
+            "volume": self.total_volume(),
+        }
+        if self.rainfall is not None and self.rainfall.total() > 0:
+            out["runoff_coefficient"] = self.runoff_coefficient()
+        if threshold is not None:
+            out["exceedance_fraction"] = self.exceedance_fraction(threshold)
+            out["events"] = len(self.events_above(threshold))
+        return out

@@ -1,0 +1,88 @@
+"""Goodness-of-fit metrics for hydrological model evaluation.
+
+The calibration workflow judges a simulation against observations with
+the community-standard scores: Nash–Sutcliffe efficiency (the paper's
+models were calibrated until they "could adequately reproduce observed
+discharge"), Kling–Gupta efficiency, RMSE, percent bias and peak error.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+
+def _paired(observed: Sequence[float],
+            simulated: Sequence[float]) -> Tuple[list, list]:
+    if len(observed) != len(simulated):
+        raise ValueError(f"length mismatch: {len(observed)} observed vs "
+                         f"{len(simulated)} simulated")
+    obs, sim = [], []
+    for o, s in zip(observed, simulated):
+        if not (math.isnan(o) or math.isnan(s)):
+            obs.append(o)
+            sim.append(s)
+    if not obs:
+        raise ValueError("no overlapping non-NaN samples")
+    return obs, sim
+
+
+def nash_sutcliffe_efficiency(observed: Sequence[float],
+                              simulated: Sequence[float]) -> float:
+    """NSE in (-inf, 1]; 1 is a perfect fit, 0 matches the mean model."""
+    obs, sim = _paired(observed, simulated)
+    mean_obs = sum(obs) / len(obs)
+    err = sum((o - s) ** 2 for o, s in zip(obs, sim))
+    var = sum((o - mean_obs) ** 2 for o in obs)
+    if var == 0:
+        return 1.0 if err == 0 else -math.inf
+    return 1.0 - err / var
+
+
+def rmse(observed: Sequence[float], simulated: Sequence[float]) -> float:
+    """Root-mean-square error in the series' units."""
+    obs, sim = _paired(observed, simulated)
+    return math.sqrt(sum((o - s) ** 2 for o, s in zip(obs, sim)) / len(obs))
+
+
+def percent_bias(observed: Sequence[float],
+                 simulated: Sequence[float]) -> float:
+    """PBIAS (%): positive = model under-predicts total volume."""
+    obs, sim = _paired(observed, simulated)
+    total_obs = sum(obs)
+    if total_obs == 0:
+        raise ValueError("observed series sums to zero")
+    return 100.0 * sum(o - s for o, s in zip(obs, sim)) / total_obs
+
+
+def kling_gupta_efficiency(observed: Sequence[float],
+                           simulated: Sequence[float]) -> float:
+    """KGE (Gupta et al. 2009): 1 - sqrt((r-1)² + (α-1)² + (β-1)²)."""
+    obs, sim = _paired(observed, simulated)
+    n = len(obs)
+    mean_o = sum(obs) / n
+    mean_s = sum(sim) / n
+    std_o = math.sqrt(sum((o - mean_o) ** 2 for o in obs) / n)
+    std_s = math.sqrt(sum((s - mean_s) ** 2 for s in sim) / n)
+    if std_o == 0 or mean_o == 0:
+        raise ValueError("degenerate observed series")
+    if std_s == 0:
+        correlation = 0.0
+    else:
+        covariance = sum((o - mean_o) * (s - mean_s)
+                         for o, s in zip(obs, sim)) / n
+        correlation = covariance / (std_o * std_s)
+    alpha = std_s / std_o
+    beta = mean_s / mean_o
+    return 1.0 - math.sqrt((correlation - 1) ** 2 + (alpha - 1) ** 2
+                           + (beta - 1) ** 2)
+
+
+def peak_error(observed: Sequence[float],
+               simulated: Sequence[float]) -> float:
+    """Relative error of the simulated peak: (max_sim - max_obs)/max_obs."""
+    obs, sim = _paired(observed, simulated)
+    peak_obs = max(obs)
+    if peak_obs == 0:
+        raise ValueError("observed peak is zero")
+    return (max(sim) - peak_obs) / peak_obs

@@ -1,0 +1,74 @@
+"""Potential evapotranspiration (PET) estimators.
+
+Rainfall-runoff models need an evaporative demand series.  Two
+temperature-based formulations are implemented — both standard choices
+for UK catchments where radiation data are scarce:
+
+* **Oudin** (Oudin et al. 2005): PET = Re/(λρ) · (T+5)/100 for T > −5 °C,
+  with extraterrestrial radiation Re computed from latitude and day of
+  year.
+* **Hamon** (Hamon 1961): PET from daylight hours and saturation vapour
+  density.
+
+Both return daily PET in mm/day; callers divide across sub-daily steps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+#: Latent heat of vaporisation divided by water density, MJ·m⁻²·mm⁻¹.
+_LAMBDA_RHO = 2.45
+
+
+def extraterrestrial_radiation(latitude_deg: float, day_of_year: int) -> float:
+    """Daily extraterrestrial radiation Re in MJ·m⁻²·day⁻¹ (FAO-56 eq. 21)."""
+    phi = math.radians(latitude_deg)
+    dr = 1.0 + 0.033 * math.cos(2 * math.pi * day_of_year / 365.0)
+    delta = 0.409 * math.sin(2 * math.pi * day_of_year / 365.0 - 1.39)
+    x = -math.tan(phi) * math.tan(delta)
+    x = min(1.0, max(-1.0, x))
+    omega = math.acos(x)
+    gsc = 0.0820  # solar constant, MJ·m⁻²·min⁻¹
+    return (24 * 60 / math.pi) * gsc * dr * (
+        omega * math.sin(phi) * math.sin(delta)
+        + math.cos(phi) * math.cos(delta) * math.sin(omega))
+
+
+def daylight_hours(latitude_deg: float, day_of_year: int) -> float:
+    """Hours of daylight (FAO-56 eq. 34)."""
+    phi = math.radians(latitude_deg)
+    delta = 0.409 * math.sin(2 * math.pi * day_of_year / 365.0 - 1.39)
+    x = -math.tan(phi) * math.tan(delta)
+    x = min(1.0, max(-1.0, x))
+    return 24.0 / math.pi * math.acos(x)
+
+
+def oudin_pet(temperature_c: Sequence[float], latitude_deg: float,
+              first_day_of_year: int = 1) -> List[float]:
+    """Daily Oudin PET (mm/day) from a daily mean-temperature series."""
+    pet = []
+    for i, temp in enumerate(temperature_c):
+        doy = (first_day_of_year - 1 + i) % 365 + 1
+        if temp > -5.0:
+            re = extraterrestrial_radiation(latitude_deg, doy)
+            pet.append(max(0.0, re / _LAMBDA_RHO * (temp + 5.0) / 100.0))
+        else:
+            pet.append(0.0)
+    return pet
+
+
+def hamon_pet(temperature_c: Sequence[float], latitude_deg: float,
+              first_day_of_year: int = 1) -> List[float]:
+    """Daily Hamon PET (mm/day) from a daily mean-temperature series."""
+    pet = []
+    for i, temp in enumerate(temperature_c):
+        doy = (first_day_of_year - 1 + i) % 365 + 1
+        daylight = daylight_hours(latitude_deg, doy)
+        # saturation vapour pressure (kPa), Tetens
+        esat = 0.6108 * math.exp(17.27 * temp / (temp + 237.3))
+        # saturated vapour density, g/m^3
+        rho_sat = 216.7 * esat / (temp + 273.3)
+        pet.append(max(0.0, 0.1651 * (daylight / 12.0) * rho_sat))
+    return pet

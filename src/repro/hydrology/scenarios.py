@@ -1,0 +1,127 @@
+"""Land-use and management change scenarios.
+
+The LEFT modelling widget offers "four land use and management change
+scenarios ... developed with stakeholders ... to illustrate how changes
+to land use and land management practices are likely to impact flood
+risk at the catchment outlet".  A scenario is a bundle of parameter
+transforms plus an optional flow post-process (storage ponds intercept
+quick flow); the widget's sliders "default to the settings for each
+scenario".
+
+Expected shape (reproduced by ``benchmarks/bench_fig6_scenarios.py``):
+soil compaction raises the flood peak, afforestation and storage ponds
+lower and delay it, relative to the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.hydrology.timeseries import TimeSeries
+from repro.hydrology.topmodel import (
+    Topmodel,
+    TopmodelParameters,
+    TopmodelResult,
+)
+
+
+@dataclass(frozen=True)
+class LandUseScenario:
+    """One stakeholder-defined scenario.
+
+    ``parameter_updates`` override TOPMODEL parameters;
+    ``pond_fraction``/``pond_release`` configure an optional distributed
+    storage feature that skims quick flow into ponds and releases it
+    slowly (the natural-flood-management measure).
+    """
+
+    key: str
+    title: str
+    description: str
+    parameter_updates: Dict[str, float] = field(default_factory=dict)
+    pond_fraction: float = 0.0      # share of flow above threshold diverted
+    pond_threshold_mm: float = 0.0  # flow above which ponds skim
+    pond_release: float = 0.05      # pond drainage fraction per step
+
+    def apply_parameters(self, base: TopmodelParameters) -> TopmodelParameters:
+        """The scenario's slider defaults: base parameters + overrides."""
+        if not self.parameter_updates:
+            return base
+        return base.with_updates(**self.parameter_updates)
+
+    def run(self, model: Topmodel, rainfall: TimeSeries,
+            pet: Optional[TimeSeries] = None,
+            base_parameters: Optional[TopmodelParameters] = None
+            ) -> TopmodelResult:
+        """Run ``model`` under this scenario."""
+        params = self.apply_parameters(base_parameters or TopmodelParameters())
+        result = model.run(rainfall, pet, params)
+        if self.pond_fraction > 0:
+            result = self._attenuate(result)
+        return result
+
+    def _attenuate(self, result: TopmodelResult) -> TopmodelResult:
+        """Skim high flows into pond storage; release it slowly."""
+        store = 0.0
+        out: List[float] = []
+        for q in result.flow:
+            skim = max(0.0, q - self.pond_threshold_mm) * self.pond_fraction
+            store += skim
+            release = store * self.pond_release
+            store -= release
+            out.append(q - skim + release)
+        attenuated = TimeSeries(result.flow.start, result.flow.dt, out,
+                                units=result.flow.units,
+                                name=f"{result.flow.name}:{self.key}")
+        return TopmodelResult(
+            flow=attenuated,
+            baseflow=result.baseflow,
+            overland=result.overland,
+            saturated_fraction=result.saturated_fraction,
+            actual_et=result.actual_et,
+            final_deficit_mm=result.final_deficit_mm,
+            water_balance_error_mm=result.water_balance_error_mm,
+        )
+
+
+#: The four scenarios the widget's top-right buttons select.
+STANDARD_SCENARIOS: Dict[str, LandUseScenario] = {
+    "baseline": LandUseScenario(
+        key="baseline",
+        title="Current land use",
+        description="Present-day mixed farming and land management.",
+    ),
+    "afforestation": LandUseScenario(
+        key="afforestation",
+        title="Upland afforestation",
+        description=("Tree planting on the upper catchment: higher canopy "
+                     "interception, deeper rooting, better infiltration."),
+        parameter_updates={
+            "interception_mm": 1.2,
+            "srmax": 70.0,
+            "infiltration_capacity_mm_h": 80.0,
+            "reservoir_k": 0.25,
+        },
+    ),
+    "compaction": LandUseScenario(
+        key="compaction",
+        title="Intensive grazing / soil compaction",
+        description=("Heavier stocking compacts soils: infiltration "
+                     "collapses and runoff reaches the channel faster."),
+        parameter_updates={
+            "infiltration_capacity_mm_h": 6.0,
+            "srmax": 25.0,
+            "reservoir_k": 0.55,
+        },
+    ),
+    "storage_ponds": LandUseScenario(
+        key="storage_ponds",
+        title="Runoff attenuation features",
+        description=("Distributed storage ponds and leaky barriers skim "
+                     "flood-peak flow and release it after the event."),
+        pond_fraction=0.5,
+        pond_threshold_mm=0.4,
+        pond_release=0.04,
+    ),
+}

@@ -1,0 +1,38 @@
+"""The Model Library (ML) of Figure 1.
+
+"The Model Library is populated by domain specialists in liaison with
+data providers ... The outcome of this process is a VM image optimised
+to run a fine tuned set of models that are exposed as web services ...
+The alternative path is to use a generic image from the ML to serve as a
+model incubator."
+
+This package holds the catalogue of published models (with their offline
+calibration records), bakes streamlined images / authors incubator
+recipes, exposes models as OGC WPS processes, and measures the two
+deployment paths the paper contrasts.
+"""
+
+from repro.modellib.library import (
+    CalibrationRecord,
+    ModelEntry,
+    ModelKind,
+    ModelLibrary,
+)
+from repro.modellib.processes import (
+    make_fuse_process,
+    make_topmodel_process,
+    make_water_quality_process,
+)
+from repro.modellib.deployment import DeploymentReport, ModelDeployer
+
+__all__ = [
+    "CalibrationRecord",
+    "DeploymentReport",
+    "ModelDeployer",
+    "ModelEntry",
+    "ModelKind",
+    "ModelLibrary",
+    "make_fuse_process",
+    "make_topmodel_process",
+    "make_water_quality_process",
+]

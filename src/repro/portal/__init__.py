@@ -1,0 +1,45 @@
+"""The EVOp web portal, as testable objects.
+
+The Web 2.0 front-end of Section IV-C reduced to its information
+architecture: an interactive map of geotagged assets (Fig. 4), widgets
+that open from markers — time-series graphs, the multimodal
+sensor+webcam view (Fig. 5), and the modelling widget with scenario
+buttons, parameter sliders and hydrograph output (Fig. 6) — plus the
+LEFT assembly and scripted user journeys for the storyboard playback.
+
+Chart output is a Flot-like series spec (:mod:`repro.portal.render`)
+renderable to JSON for a browser or ASCII for the examples.
+"""
+
+from repro.portal.render import ChartSpec, Series
+from repro.portal.basemap import MapView, Marker
+from repro.portal.widgets import (
+    ModellingWidget,
+    MultimodalWidget,
+    TimeSeriesWidget,
+    WebcamWidget,
+)
+from repro.portal.left import LeftTool
+from repro.portal.journey import JourneyLog, UserJourney
+from repro.portal.national import CatchmentOutlook, FloodStatus, NationalOutlook
+from repro.portal.uploads import UploadService
+from repro.portal.history import RunHistoryStore
+
+__all__ = [
+    "CatchmentOutlook",
+    "ChartSpec",
+    "FloodStatus",
+    "JourneyLog",
+    "LeftTool",
+    "MapView",
+    "Marker",
+    "ModellingWidget",
+    "MultimodalWidget",
+    "NationalOutlook",
+    "RunHistoryStore",
+    "Series",
+    "TimeSeriesWidget",
+    "UploadService",
+    "UserJourney",
+    "WebcamWidget",
+]

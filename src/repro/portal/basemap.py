@@ -1,0 +1,82 @@
+"""The interactive mapping backdrop (Figure 4).
+
+"An interactive mapping backdrop was developed as the LEFT landing page,
+on top of which datasets (both static and live) and other assets (such
+as webcam feeds) were overlaid on the map as geotagged markers."
+
+The :class:`MapView` stands in for the Google-Maps layer: a viewport
+over the asset catalogue producing :class:`Marker` objects, each of
+which knows which widget type it opens — "the interactive nature of the
+geospatial layers provides the ability to reveal new interfaces".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.data.catalog import Asset, AssetCatalog, BoundingBox
+
+#: Map from asset kind to the widget a marker click opens.
+WIDGET_FOR_KIND: Dict[str, str] = {
+    "sensor-feed": "timeseries",
+    "webcam": "webcam",
+    "dataset": "timeseries",
+    "multimodal": "multimodal",
+    "model": "modelling",
+}
+
+
+@dataclass(frozen=True)
+class Marker:
+    """One geotagged marker on the map."""
+
+    asset_id: str
+    name: str
+    kind: str
+    latitude: float
+    longitude: float
+    widget: str
+
+    @staticmethod
+    def for_asset(asset: Asset) -> "Marker":
+        """Build the marker for a catalogue asset."""
+        return Marker(
+            asset_id=asset.asset_id,
+            name=asset.name,
+            kind=asset.kind,
+            latitude=asset.latitude,
+            longitude=asset.longitude,
+            widget=WIDGET_FOR_KIND.get(asset.kind, "details"),
+        )
+
+
+class MapView:
+    """A viewport over the catalogue."""
+
+    def __init__(self, catalog: AssetCatalog, viewport: BoundingBox):
+        self.catalog = catalog
+        self.viewport = viewport
+
+    def markers(self, kind: Optional[str] = None) -> List[Marker]:
+        """Markers inside the viewport, optionally of one kind."""
+        assets = self.catalog.in_bbox(self.viewport)
+        if kind is not None:
+            assets = [a for a in assets if a.kind == kind]
+        return [Marker.for_asset(a) for a in assets]
+
+    def pan_to(self, viewport: BoundingBox) -> "MapView":
+        """A new view with a moved viewport."""
+        return MapView(self.catalog, viewport)
+
+    def open(self, marker: Marker) -> Asset:
+        """Resolve the catalogue asset behind a marker click."""
+        return self.catalog.get(marker.asset_id)
+
+    @staticmethod
+    def catchment_viewport(latitude: float, longitude: float,
+                           half_degrees: float = 0.25) -> BoundingBox:
+        """A viewport centred on a catchment."""
+        return BoundingBox(
+            south=latitude - half_degrees, west=longitude - half_degrees,
+            north=latitude + half_degrees, east=longitude + half_degrees)

@@ -1,0 +1,83 @@
+"""Run history: "comparing current and previous results".
+
+The introduction promises users can compare model output with *previous*
+results — across visits, not just within one widget session.  The
+:class:`RunHistoryStore` persists completed runs per user in the object
+store, and the widget can merge stored runs into its comparison view, so
+a farmer returning after the winter sees last autumn's scenario next to
+today's.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.cloud.storage import BlobStore, Container
+from repro.hydrology.timeseries import TimeSeries
+from repro.portal.widgets import ModelRun
+
+
+class RunHistoryStore:
+    """Per-user persisted model runs."""
+
+    CONTAINER = "run-history"
+
+    def __init__(self, store: BlobStore):
+        self._container: Container = store.create_container(self.CONTAINER)
+
+    def _key(self, user: str, index: int) -> str:
+        return f"{user}/{index:06d}"
+
+    def save(self, user: str, run: ModelRun) -> str:
+        """Persist a completed run; returns its history key."""
+        index = len(self.list_keys(user))
+        key = self._key(user, index)
+        self._container.put(key, {
+            "scenario": run.scenario,
+            "inputs": dict(run.inputs),
+            "outputs": dict(run.outputs),
+            "requested_at": run.requested_at,
+            "completed_at": run.completed_at,
+        }, metadata={"user": user, "scenario": run.scenario})
+        return key
+
+    def list_keys(self, user: str) -> List[str]:
+        """History keys for a user, oldest first."""
+        return self._container.list(f"{user}/")
+
+    def load(self, key: str) -> ModelRun:
+        """Rehydrate a stored run."""
+        payload = self._container.get(key).payload
+        return ModelRun(
+            scenario=payload["scenario"],
+            inputs=dict(payload["inputs"]),
+            outputs=dict(payload["outputs"]),
+            requested_at=payload["requested_at"],
+            completed_at=payload["completed_at"],
+        )
+
+    def load_all(self, user: str) -> List[ModelRun]:
+        """Every stored run of a user, oldest first."""
+        return [self.load(key) for key in self.list_keys(user)]
+
+    def latest(self, user: str) -> Optional[ModelRun]:
+        """The most recent stored run, if any."""
+        keys = self.list_keys(user)
+        return self.load(keys[-1]) if keys else None
+
+    def clear(self, user: str) -> int:
+        """Delete a user's history; returns how many runs were removed."""
+        keys = self.list_keys(user)
+        for key in keys:
+            self._container.delete(key)
+        return len(keys)
+
+    def merge_into_widget(self, user: str, widget) -> int:
+        """Prepend a user's stored runs into a widget's comparison set.
+
+        Returns how many historical runs were added.  Current-session
+        runs keep their position at the end (most recent last).
+        """
+        history = self.load_all(user)
+        widget.runs[:0] = history
+        return len(history)

@@ -1,0 +1,141 @@
+"""Scripted user journeys — storyboard playback.
+
+The storyboard methodology defines "a user's journey through the tool:
+starting with selecting the feature they desire ... the display and
+layout of results, and any subsequent interactions".  A
+:class:`UserJourney` executes that script against a live LEFT tool and
+records a timestamped :class:`JourneyLog`, which is both the FIG1
+benchmark's data source and the storyboard-validation evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.portal.left import LeftTool
+from repro.sim import Signal, Simulator
+
+
+@dataclass
+class JourneyStep:
+    """One completed step of a journey."""
+
+    name: str
+    started_at: float
+    finished_at: float
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Seconds the step took (user-perceived)."""
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class JourneyLog:
+    """The full record of one journey."""
+
+    user: str
+    steps: List[JourneyStep] = field(default_factory=list)
+    completed: bool = False
+
+    def step(self, name: str) -> JourneyStep:
+        """Look a step up by name."""
+        for step in self.steps:
+            if step.name == name:
+                return step
+        raise KeyError(name)
+
+    def total_duration(self) -> float:
+        """First step start to last step end."""
+        if not self.steps:
+            return 0.0
+        return self.steps[-1].finished_at - self.steps[0].started_at
+
+
+class UserJourney:
+    """The canonical LEFT storyboard as an executable script.
+
+    Steps: open the landing map → inspect a live sensor → open the
+    modelling widget (RB connection + WebSocket) → run the baseline →
+    press a scenario button and re-run → compare.
+    """
+
+    def __init__(self, sim: Simulator, tool: LeftTool, user_name: str,
+                 scenario: str = "storage_ponds"):
+        self.sim = sim
+        self.tool = tool
+        self.user_name = user_name
+        self.scenario = scenario
+        self.log = JourneyLog(user=user_name)
+
+    def start(self) -> Signal:
+        """Run the journey; returns a signal fired with the log."""
+        done = self.sim.signal(f"journey.{self.user_name}")
+        self.sim.spawn(self._script(done), name=f"journey.{self.user_name}")
+        return done
+
+    def _record(self, name: str, started_at: float, **detail) -> None:
+        self.log.steps.append(JourneyStep(
+            name=name, started_at=started_at, finished_at=self.sim.now,
+            detail=detail))
+
+    def _script(self, done: Signal):
+        # 1. landing page: the map and its markers
+        t0 = self.sim.now
+        page = self.tool.landing_page()
+        markers = page.markers()
+        self._record("landing_map", t0, markers=len(markers))
+
+        # 2. click a sensor marker: live time-series widget
+        t0 = self.sim.now
+        widget = self.tool.timeseries_widget("level-1")
+        latest = widget.latest_value()
+        self._record("sensor_widget", t0, latest_level=latest)
+
+        # 3. open the modelling widget (RB connection, session assignment)
+        t0 = self.sim.now
+        modelling = self.tool.open_modelling_widget(self.user_name)
+        while modelling.session.instance_address is None:
+            yield 1.0
+        loaded = yield modelling.load()
+        if not loaded:
+            self.log.completed = False
+            done.fire(self.log)
+            return
+        self._record("open_modelling_widget", t0,
+                     instance=modelling.session.instance_address,
+                     sliders=sorted(modelling.sliders))
+
+        # 4. baseline run
+        t0 = self.sim.now
+        modelling.select_scenario("baseline")
+        baseline = yield modelling.run()
+        if baseline is None:
+            self.log.completed = False
+            done.fire(self.log)
+            return
+        self._record("baseline_run", t0,
+                     peak=baseline.outputs["peak_mm_h"],
+                     exceeded=baseline.outputs["threshold_exceeded"])
+
+        # 5. scenario run
+        t0 = self.sim.now
+        modelling.select_scenario(self.scenario)
+        scenario_run = yield modelling.run()
+        if scenario_run is None:
+            self.log.completed = False
+            done.fire(self.log)
+            return
+        self._record("scenario_run", t0,
+                     scenario=self.scenario,
+                     peak=scenario_run.outputs["peak_mm_h"])
+
+        # 6. comparison chart
+        t0 = self.sim.now
+        chart = modelling.comparison_chart()
+        self._record("compare", t0, series=len(chart.series))
+        self.tool.broker.disconnect(modelling.session)
+        self.log.completed = True
+        done.fire(self.log)

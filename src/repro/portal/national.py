@@ -1,0 +1,125 @@
+"""The national flood outlook — the catchment-scale exemplar beside LEFT.
+
+EVOp built exemplars "focusing on different levels of scale"; beside the
+local tool the portal answered questions like "is my local area
+susceptible to flood after the past few days' rainfall?" at national
+scope.  :class:`NationalOutlook` runs every study catchment's model on
+its recent weather, classifies each against its flood-warning threshold,
+and renders the dashboard table and chart the portal's landing view
+would show.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.data.catchments import Catchment, STUDY_CATCHMENTS
+from repro.data.weather import DesignStorm
+from repro.hydrology.hydrograph import HydrographAnalysis
+from repro.hydrology.timeseries import TimeSeries
+from repro.hydrology.topmodel import TopmodelParameters
+from repro.portal.render import ChartSpec, Series
+from repro.sim import RandomStreams
+
+
+class FloodStatus(enum.Enum):
+    """Traffic-light classification against the warning threshold."""
+
+    NORMAL = "normal"        # peak below half the threshold
+    ALERT = "alert"          # peak within [0.5, 1.0) of the threshold
+    FLOOD = "flood"          # threshold exceeded
+
+    @staticmethod
+    def classify(peak: float, threshold: float) -> "FloodStatus":
+        """Classify a forecast peak."""
+        if peak > threshold:
+            return FloodStatus.FLOOD
+        if peak >= 0.5 * threshold:
+            return FloodStatus.ALERT
+        return FloodStatus.NORMAL
+
+
+@dataclass
+class CatchmentOutlook:
+    """One catchment's entry on the national dashboard."""
+
+    catchment: Catchment
+    peak_mm_h: float
+    peak_discharge_m3s: float
+    threshold_mm_h: float
+    status: FloodStatus
+    recent_rainfall_mm: float
+    flow: TimeSeries
+
+
+class NationalOutlook:
+    """Runs the outlook across a set of catchments."""
+
+    def __init__(self, catchments: Optional[Dict[str, Catchment]] = None,
+                 streams: Optional[RandomStreams] = None,
+                 horizon_hours: int = 24 * 7):
+        self.catchments = dict(catchments or STUDY_CATCHMENTS)
+        self.streams = streams or RandomStreams()
+        self.horizon_hours = horizon_hours
+
+    def assess(self, storm: Optional[DesignStorm] = None,
+               antecedent_wetness: float = 0.3) -> List[CatchmentOutlook]:
+        """Model every catchment over the horizon; returns the outlooks.
+
+        ``storm`` superimposes an incoming forecast event on each
+        catchment's stochastic weather (the 'what the radar shows'
+        input); ``antecedent_wetness`` sets the initial baseflow.
+        """
+        outlooks = []
+        for name, catchment in sorted(self.catchments.items()):
+            generator = catchment.weather_generator(self.streams.fork(name))
+            if storm is not None:
+                rain = generator.rainfall_with_storm(
+                    self.horizon_hours, storm, start_day_of_year=330)
+            else:
+                rain = generator.rainfall(self.horizon_hours,
+                                          start_day_of_year=330)
+            result = catchment.topmodel().run(
+                rain,
+                parameters=TopmodelParameters(q0_mm_h=antecedent_wetness))
+            analysis = HydrographAnalysis(result.flow, rain)
+            peak = analysis.peak()
+            outlooks.append(CatchmentOutlook(
+                catchment=catchment,
+                peak_mm_h=peak,
+                peak_discharge_m3s=peak * catchment.area_km2 * 1e6 * 1e-3
+                / 3600.0,
+                threshold_mm_h=catchment.flood_threshold_mm_h,
+                status=FloodStatus.classify(peak,
+                                            catchment.flood_threshold_mm_h),
+                recent_rainfall_mm=rain.total(),
+                flow=result.flow,
+            ))
+        return outlooks
+
+    @staticmethod
+    def dashboard_rows(outlooks: List[CatchmentOutlook]) -> List[List]:
+        """The dashboard table, worst status first."""
+        severity = {FloodStatus.FLOOD: 0, FloodStatus.ALERT: 1,
+                    FloodStatus.NORMAL: 2}
+        ordered = sorted(outlooks, key=lambda o: severity[o.status])
+        return [[o.catchment.display_name, o.catchment.country,
+                 o.recent_rainfall_mm, o.peak_mm_h, o.peak_discharge_m3s,
+                 o.threshold_mm_h, o.status.value.upper()]
+                for o in ordered]
+
+    @staticmethod
+    def chart(outlooks: List[CatchmentOutlook]) -> ChartSpec:
+        """All catchment hydrographs overlaid, thresholds annotated."""
+        spec = ChartSpec(title="National flood outlook",
+                         y_label="flow (mm/h)")
+        for outlook in outlooks:
+            spec.add(Series.from_timeseries(
+                outlook.flow, label=outlook.catchment.display_name))
+        worst = max(outlooks, key=lambda o: o.peak_mm_h / o.threshold_mm_h)
+        spec.add_threshold(
+            f"{worst.catchment.display_name} threshold",
+            worst.threshold_mm_h)
+        return spec

@@ -1,0 +1,457 @@
+"""Visualization and modelling widgets (Figures 5 and 6).
+
+Widgets are the "bespoke web interfaces ... developed to suit the
+particular factors in question".  Three are reproduced:
+
+* :class:`TimeSeriesWidget` — live sensor data "presented as time
+  series graphs";
+* :class:`MultimodalWidget` — "water temperature and turbidity linked
+  with the corresponding webcam image taken roughly at the same time";
+* :class:`ModellingWidget` — the LEFT flagship: scenario buttons,
+  parameter sliders that "default to the settings for each scenario",
+  on-demand cloud model runs, hydrograph plots and run comparison.
+
+The modelling widget talks WPS over the simulated network and always
+addresses the instance its session currently points at, so broker-driven
+migrations are transparent — exactly the property the stateless REST
+design buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.broker.sessions import UserSession
+from repro.data.sensors import Sensor
+from repro.data.webcam import WebcamArchive, WebcamFrame
+from repro.hydrology.scenarios import STANDARD_SCENARIOS
+from repro.hydrology.timeseries import TimeSeries
+from repro.portal.render import ChartSpec, Series
+from repro.services.sos import Observation
+from repro.services.transport import HttpRequest, HttpResponse, Network
+from repro.sim import Signal, Simulator
+
+
+class WebcamWidget:
+    """The webcam marker's widget: latest frame plus a browsable archive."""
+
+    def __init__(self, webcam: WebcamArchive):
+        self.webcam = webcam
+
+    def latest_frame(self) -> Optional[WebcamFrame]:
+        """The most recent capture (None if the camera never fired)."""
+        frames = self.webcam.frames()
+        return frames[-1] if frames else None
+
+    def frame_at(self, time: float) -> Optional[WebcamFrame]:
+        """The capture nearest to ``time``."""
+        return self.webcam.nearest(time)
+
+    def filmstrip(self, begin: float, end: float,
+                  max_frames: int = 12) -> List[WebcamFrame]:
+        """An evenly thinned selection of frames for the strip view."""
+        frames = self.webcam.window(begin, end)
+        if len(frames) <= max_frames:
+            return frames
+        step = len(frames) / max_frames
+        return [frames[int(i * step)] for i in range(max_frames)]
+
+    def stage_series(self, begin: float, end: float) -> List[Tuple[float, float]]:
+        """(time, stage) points from frames tagged with river stage."""
+        return [(f.time, f.tags["stage_m"])
+                for f in self.webcam.window(begin, end)
+                if "stage_m" in f.tags]
+
+
+class TimeSeriesWidget:
+    """A time-series graph over one sensor's observations."""
+
+    def __init__(self, sensor: Sensor):
+        self.sensor = sensor
+
+    def chart(self, begin: float, end: float) -> ChartSpec:
+        """The Flot spec for the sensor's window."""
+        observations = self.sensor.window(begin, end)
+        description = self.sensor.description
+        points = [(obs.time / 3600.0, obs.value) for obs in observations]
+        spec = ChartSpec(
+            title=f"{description.observed_property} at "
+                  f"{description.procedure_id}",
+            y_label=f"{description.observed_property} ({description.units})",
+        )
+        spec.add(Series(label=description.procedure_id, points=points,
+                        units=description.units))
+        return spec
+
+    def latest_value(self) -> Optional[float]:
+        """The most recent observation's value."""
+        latest = self.sensor.latest()
+        return latest.value if latest else None
+
+
+@dataclass
+class MultimodalView:
+    """One time-aligned multimodal snapshot."""
+
+    time: float
+    observations: Dict[str, Observation]
+    frame: Optional[WebcamFrame]
+
+    def alignment_error(self) -> float:
+        """Largest time offset between the snapshot and its parts."""
+        offsets = [abs(obs.time - self.time)
+                   for obs in self.observations.values()]
+        if self.frame is not None:
+            offsets.append(abs(self.frame.time - self.time))
+        return max(offsets, default=0.0)
+
+
+class MultimodalWidget:
+    """Combined sensors + webcam view (Figure 5)."""
+
+    def __init__(self, sensors: List[Sensor], webcam: WebcamArchive):
+        if not sensors:
+            raise ValueError("need at least one sensor")
+        self.sensors = sensors
+        self.webcam = webcam
+
+    def view_at(self, time: float) -> MultimodalView:
+        """The nearest observation of each modality to ``time``."""
+        observations: Dict[str, Observation] = {}
+        for sensor in self.sensors:
+            candidates = sensor.observations
+            if candidates:
+                nearest = min(candidates, key=lambda o: abs(o.time - time))
+                observations[sensor.description.observed_property] = nearest
+        return MultimodalView(time=time, observations=observations,
+                              frame=self.webcam.nearest(time))
+
+    def chart(self, begin: float, end: float) -> ChartSpec:
+        """All sensor series overlaid, webcam capture times annotated."""
+        spec = ChartSpec(title="Multimodal view")
+        for sensor in self.sensors:
+            description = sensor.description
+            points = [(obs.time / 3600.0, obs.value)
+                      for obs in sensor.window(begin, end)]
+            spec.add(Series(label=description.observed_property,
+                            points=points, units=description.units))
+        spec.annotations["webcam frames"] = float(
+            len(self.webcam.window(begin, end)))
+        return spec
+
+
+@dataclass
+class SliderSpec:
+    """One parameter slider, built from the WPS DescribeProcess document."""
+
+    name: str
+    minimum: float
+    maximum: float
+    value: Optional[float] = None
+    abstract: str = ""
+
+    def set(self, value: float) -> None:
+        """Move the slider, enforcing its bounds."""
+        if not self.minimum <= value <= self.maximum:
+            raise ValueError(f"slider {self.name!r}: {value} outside "
+                             f"[{self.minimum}, {self.maximum}]")
+        self.value = value
+
+
+@dataclass
+class ModelRun:
+    """One completed model run kept for comparison."""
+
+    scenario: str
+    inputs: Dict[str, Any]
+    outputs: Dict[str, Any]
+    requested_at: float
+    completed_at: float
+
+    @property
+    def round_trip(self) -> float:
+        """User-perceived latency of the run."""
+        return self.completed_at - self.requested_at
+
+    def hydrograph(self) -> TimeSeries:
+        """The returned hydrograph as a TimeSeries."""
+        return TimeSeries(0.0, self.outputs["dt_seconds"],
+                          self.outputs["hydrograph_mm_h"], units="mm/h",
+                          name=f"{self.outputs.get('model', 'model')}:"
+                               f"{self.scenario}")
+
+
+#: Sliders the widget exposes for TOPMODEL, in display order.
+_TOPMODEL_SLIDERS = ("m", "srmax", "td", "q0_mm_h")
+
+HELP_TEXT = (
+    "The hydrograph shows how quickly rain reaching the ground becomes "
+    "flow at your catchment outlet. Choose a land-use scenario with the "
+    "buttons: each sets the model sliders to values agreed with local "
+    "stakeholders. Move the sliders to explore 'what if' questions - "
+    "the flood threshold line shows when flow would put property at "
+    "risk. Every run executes in the cloud; nothing is installed on "
+    "your device."
+)
+
+
+class ModellingWidget:
+    """The LEFT modelling widget (Figure 6)."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 session: UserSession, process_id: str,
+                 flood_threshold_mm_h: float = 2.0,
+                 request_timeout: float = 120.0):
+        self.sim = sim
+        self.network = network
+        self.session = session
+        self.process_id = process_id
+        self.flood_threshold_mm_h = flood_threshold_mm_h
+        self.request_timeout = request_timeout
+        self.scenario = "baseline"
+        self.sliders: Dict[str, SliderSpec] = {}
+        self.runs: List[ModelRun] = []
+        self.errors: List[str] = []
+
+    # -- widget chrome -----------------------------------------------------------
+
+    @property
+    def scenario_buttons(self) -> List[str]:
+        """The four scenario buttons, display order."""
+        return list(STANDARD_SCENARIOS)
+
+    def help_text(self) -> str:
+        """The educational help panel text."""
+        return HELP_TEXT
+
+    def load(self) -> Signal:
+        """Fetch DescribeProcess and build the sliders.
+
+        Returns a signal fired with True on success.
+        """
+        done = self.sim.signal("widget.load")
+
+        def loader():
+            response = None
+            for attempt in range(6):
+                response = yield self._request(
+                    HttpRequest("GET", f"/wps/processes/{self.process_id}"))
+                if isinstance(response, HttpResponse) and response.ok:
+                    break
+                yield 5.0 + 10.0 * attempt  # overload/migration: retry
+            if not isinstance(response, HttpResponse) or not response.ok:
+                self.errors.append(f"load failed: {response!r}")
+                done.fire(False)
+                return
+            for spec in response.body["inputs"]:
+                if spec["name"] in _TOPMODEL_SLIDERS and \
+                        spec["minimum"] is not None:
+                    self.sliders[spec["name"]] = SliderSpec(
+                        name=spec["name"],
+                        minimum=spec["minimum"],
+                        maximum=spec["maximum"],
+                        value=spec["default"],
+                        abstract=spec.get("abstract") or "",
+                    )
+            done.fire(True)
+
+        self.sim.spawn(loader(), name="widget.load")
+        return done
+
+    def select_scenario(self, key: str) -> None:
+        """Press a scenario button; sliders snap to its defaults."""
+        if key not in STANDARD_SCENARIOS:
+            raise ValueError(f"unknown scenario {key!r}")
+        self.scenario = key
+        defaults = STANDARD_SCENARIOS[key].parameter_updates
+        for name, slider in self.sliders.items():
+            if name in defaults:
+                slider.set(min(slider.maximum,
+                               max(slider.minimum, defaults[name])))
+
+    def set_slider(self, name: str, value: float) -> None:
+        """Move one slider (expert exploration of sensitivity)."""
+        if name not in self.sliders:
+            raise KeyError(f"no slider {name!r}")
+        self.sliders[name].set(value)
+
+    # -- model execution ------------------------------------------------------------
+
+    def run(self, **extra_inputs: Any) -> Signal:
+        """Execute the model in the cloud with the current settings.
+
+        Returns a signal fired with the :class:`ModelRun` (or ``None``
+        on failure).  One automatic retry covers the
+        migration/instance-replacement window.
+        """
+        done = self.sim.signal("widget.run")
+        inputs: Dict[str, Any] = {"scenario": self.scenario}
+        for name, slider in self.sliders.items():
+            if slider.value is not None:
+                inputs[name] = slider.value
+        inputs.update(extra_inputs)
+        requested_at = self.sim.now
+
+        def runner():
+            request = HttpRequest(
+                "POST", f"/wps/processes/{self.process_id}/execute",
+                body={"inputs": inputs})
+            response = None
+            for attempt in range(8):
+                # a migration or replacement may leave the session briefly
+                # unassigned; wait for the RB's push before (re)sending
+                waited = 0.0
+                while self.session.instance_address is None and waited < 600.0:
+                    yield 5.0
+                    waited += 5.0
+                if self.session.instance_address is None:
+                    break
+                response = yield self._request(request)
+                if isinstance(response, HttpResponse) and response.ok:
+                    break
+                if isinstance(response, HttpResponse) and response.status == 503:
+                    # overloaded: jittered exponential backoff so retrying
+                    # clients don't stampede the next replica in lockstep
+                    # (stable arithmetic jitter, not hash(): PYTHONHASHSEED
+                    # randomisation would break run-to-run determinism)
+                    seq = int("".join(c for c in self.session.session_id
+                                      if c.isdigit()) or "0")
+                    base = min(60.0, 8.0 * (2 ** attempt))
+                    jitter = ((seq * 2654435761 + attempt * 40503)
+                              % 1000) / 1000.0
+                    yield base * (0.5 + jitter)
+                else:
+                    yield 2.0   # brief backoff, then follow the new address
+            if not (isinstance(response, HttpResponse) and response.ok):
+                self.errors.append(f"run failed: {response!r}")
+                done.fire(None)
+                return
+            run = ModelRun(
+                scenario=self.scenario,
+                inputs=dict(inputs),
+                outputs=response.body["outputs"],
+                requested_at=requested_at,
+                completed_at=self.sim.now,
+            )
+            self.runs.append(run)
+            done.fire(run)
+
+        self.sim.spawn(runner(), name="widget.run")
+        return done
+
+    def run_async(self, poll_interval: float = 5.0,
+                  max_wait: float = 900.0, **extra_inputs: Any) -> Signal:
+        """Execute via asynchronous WPS: accept now, poll statusLocation.
+
+        Long ensemble or uncertainty runs shouldn't hold an HTTP request
+        open; the async path returns a statusLocation immediately and
+        the widget polls it — against *any* replica, since execution
+        status lives in shared storage, not on the accepting server.
+        """
+        done = self.sim.signal("widget.run_async")
+        inputs: Dict[str, Any] = {"scenario": self.scenario}
+        for name, slider in self.sliders.items():
+            if slider.value is not None:
+                inputs[name] = slider.value
+        inputs.update(extra_inputs)
+        requested_at = self.sim.now
+
+        def runner():
+            accept = yield self._request(HttpRequest(
+                "POST", f"/wps/processes/{self.process_id}/execute",
+                body={"inputs": inputs, "mode": "async"}))
+            if not (isinstance(accept, HttpResponse)
+                    and accept.status == 202):
+                self.errors.append(f"async accept failed: {accept!r}")
+                done.fire(None)
+                return
+            location = accept.body["statusLocation"]
+            deadline = self.sim.now + max_wait
+            while self.sim.now < deadline:
+                yield poll_interval
+                status = yield self._request(HttpRequest("GET", location))
+                if not (isinstance(status, HttpResponse) and status.ok):
+                    continue  # a migration blip; keep polling
+                state = status.body["status"]
+                if state == "succeeded":
+                    run = ModelRun(
+                        scenario=self.scenario,
+                        inputs=dict(inputs),
+                        outputs=status.body["outputs"],
+                        requested_at=requested_at,
+                        completed_at=self.sim.now,
+                    )
+                    self.runs.append(run)
+                    done.fire(run)
+                    return
+                if state == "failed":
+                    self.errors.append(
+                        f"async run failed: {status.body.get('error')}")
+                    done.fire(None)
+                    return
+            self.errors.append("async run timed out")
+            done.fire(None)
+
+        self.sim.spawn(runner(), name="widget.run_async")
+        return done
+
+    def _request(self, request: HttpRequest) -> Signal:
+        address = self.session.instance_address
+        if address is None:
+            failed = self.sim.signal("widget.no-instance")
+            failed.fire(None)
+            return failed
+        return self.network.request(address, request,
+                                    timeout=self.request_timeout)
+
+    # -- output ------------------------------------------------------------------------
+
+    def hydrograph_chart(self, run: Optional[ModelRun] = None) -> ChartSpec:
+        """The hydrograph plot for one run (default: the latest)."""
+        if run is None:
+            if not self.runs:
+                raise ValueError("no runs yet")
+            run = self.runs[-1]
+        spec = ChartSpec(
+            title=f"Flood hydrograph - {run.scenario}",
+            y_label="flow (mm/h)",
+        )
+        spec.add(Series.from_timeseries(run.hydrograph()))
+        # ensemble runs carry their structural spread: present the
+        # uncertainty bounds the stakeholders asked for
+        if "lower_mm_h" in run.outputs and "upper_mm_h" in run.outputs:
+            dt = run.outputs["dt_seconds"]
+            spec.add_band(
+                TimeSeries(0.0, dt, run.outputs["lower_mm_h"],
+                           units="mm/h", name="p10"),
+                TimeSeries(0.0, dt, run.outputs["upper_mm_h"],
+                           units="mm/h", name="p90"),
+                label="structure spread")
+        spec.add_threshold("flood threshold", self.flood_threshold_mm_h)
+        return spec
+
+    def comparison_chart(self) -> ChartSpec:
+        """All stored runs overlaid — "comparison between model runs"."""
+        if not self.runs:
+            raise ValueError("no runs yet")
+        spec = ChartSpec(title="Scenario comparison", y_label="flow (mm/h)")
+        for run in self.runs:
+            spec.add(Series.from_timeseries(run.hydrograph(),
+                                            label=run.scenario))
+        spec.add_threshold("flood threshold", self.flood_threshold_mm_h)
+        return spec
+
+    def summary_table(self) -> List[Dict[str, Any]]:
+        """Peak/volume/threshold summary per stored run."""
+        return [
+            {
+                "scenario": run.scenario,
+                "peak_mm_h": run.outputs["peak_mm_h"],
+                "peak_time_hours": run.outputs["peak_time_hours"],
+                "volume_mm": run.outputs["volume_mm"],
+                "threshold_exceeded": run.outputs["threshold_exceeded"],
+                "round_trip_s": run.round_trip,
+            }
+            for run in self.runs
+        ]

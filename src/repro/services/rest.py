@@ -1,0 +1,234 @@
+"""Stateless, resource-oriented REST engine.
+
+The paper's architectural core: "RESTful web services remain completely
+stateless with all data required to transition between different states
+being included in the service request".  Consequences the benches verify:
+
+* any replica of a service can answer any request (enabling the LB to
+  route "to any available hosted service regardless of previous
+  interactions"),
+* killing a server loses no session state,
+* the per-request server cost is flat — no transaction-state lookkeeping.
+
+A :class:`RestApi` is a route table shared by every replica; a
+:class:`RestServer` binds the api to one hosting instance, charging each
+request's processing cost as a job on that instance (so CPU utilisation
+and queueing reflect request load, which the LB observes).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.cloud.instance import Instance, Job
+from repro.services.transport import HttpRequest, HttpResponse, Network
+from repro.sim import Signal, Simulator
+
+#: Default CPU cost (reference-core seconds) of a lightweight handler.
+DEFAULT_HANDLER_COST = 0.005
+
+
+class HttpError(Exception):
+    """Raise inside a handler to produce a non-200 response."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Route:
+    """One method+path-pattern binding.
+
+    Patterns use ``{name}`` placeholders: ``/datasets/{dataset_id}``.
+    ``cost`` is the CPU charge of running the handler; handlers that do
+    real modelling work instead return a :class:`RestDeferred` carrying
+    their own job.
+    """
+
+    method: str
+    pattern: str
+    handler: Callable[[HttpRequest, Dict[str, str]], Any]
+    cost: float = DEFAULT_HANDLER_COST
+
+    def __post_init__(self) -> None:
+        regex = re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", self.pattern)
+        self._compiled = re.compile(f"^{regex}$")
+
+    def match(self, method: str, path: str) -> Optional[Dict[str, str]]:
+        """Path params when the route matches, else ``None``."""
+        if method != self.method:
+            return None
+        found = self._compiled.match(path)
+        if found is None:
+            return None
+        return found.groupdict()
+
+
+@dataclass
+class RestDeferred:
+    """A handler result that needs heavy compute.
+
+    The server submits ``job`` to its instance and answers with
+    ``render(job_outcome)`` once it completes — this is how WPS Execute
+    turns a model run into instance load.
+    """
+
+    job: Job
+    render: Callable[[Any], Tuple[int, Any]]
+
+
+@dataclass
+class RestBackground:
+    """A handler result that answers now and keeps computing.
+
+    The server responds immediately with ``status``/``body`` and submits
+    ``job`` in the background (asynchronous WPS Execute: the job's
+    ``compute`` records its own completion in shared storage).
+    """
+
+    job: Job
+    status: int
+    body: Any
+
+
+class RestApi:
+    """A route table; stateless by construction (no per-client storage)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._routes: List[Route] = []
+
+    def route(self, method: str, pattern: str,
+              handler: Callable[[HttpRequest, Dict[str, str]], Any],
+              cost: float = DEFAULT_HANDLER_COST) -> None:
+        """Register ``handler`` for ``method pattern``."""
+        self._routes.append(Route(method, pattern, handler, cost))
+
+    def get(self, pattern: str, handler, cost: float = DEFAULT_HANDLER_COST) -> None:
+        """Register a GET route."""
+        self.route("GET", pattern, handler, cost)
+
+    def post(self, pattern: str, handler, cost: float = DEFAULT_HANDLER_COST) -> None:
+        """Register a POST route."""
+        self.route("POST", pattern, handler, cost)
+
+    def resolve(self, request: HttpRequest) -> Tuple[Optional[Route], Dict[str, str]]:
+        """Find the route matching ``request`` (first match wins)."""
+        for route in self._routes:
+            params = route.match(request.method, request.path)
+            if params is not None:
+                return route, params
+        return None, {}
+
+    @property
+    def routes(self) -> List[Route]:
+        """The registered routes, in registration order."""
+        return list(self._routes)
+
+
+class RestServer:
+    """One replica of a :class:`RestApi` hosted on an instance."""
+
+    def __init__(self, sim: Simulator, api: RestApi, instance: Instance):
+        self.sim = sim
+        self.api = api
+        self.instance = instance
+        self.requests_handled = 0
+
+    @property
+    def address(self) -> str:
+        """The network address of the hosting instance."""
+        return self.instance.address
+
+    def bind(self, network: Network) -> "RestServer":
+        """Register this replica on the network; returns self."""
+        network.register(self.instance.address, self, self.instance)
+        return self
+
+    def handle(self, request: HttpRequest) -> Signal:
+        """Process a request; returns a signal fired with the response."""
+        done = self.sim.signal(f"rest.{self.api.name}.{request.path}")
+        route, params = self.api.resolve(request)
+        if route is None:
+            self._finish(done, HttpResponse(
+                status=404, body={"error": f"no route {request.method} {request.path}"}))
+            return done
+        job = Job(cost=route.cost, name=f"rest:{request.method}:{route.pattern}",
+                  compute=lambda: route.handler(request, params))
+        outcome_signal = self.instance.submit(job)
+
+        def waiter():
+            outcome = yield outcome_signal
+            self.requests_handled += 1
+            if not outcome.succeeded:
+                if outcome.error == "queue full":
+                    self._finish(done, HttpResponse(
+                        status=503, body={"error": "server overloaded"}))
+                elif outcome.error and outcome.error.startswith("job raised"):
+                    self._finish(done, self._error_response(outcome.error))
+                # instance died: leave unanswered; transport times the caller out
+                return
+            result = outcome.value
+            if isinstance(result, RestDeferred):
+                deferred_signal = self.instance.submit(result.job)
+
+                def deferred_waiter():
+                    deferred = yield deferred_signal
+                    if not deferred.succeeded:
+                        if deferred.error == "queue full":
+                            self._finish(done, HttpResponse(
+                                status=503, body={"error": "server overloaded"}))
+                        elif deferred.error and deferred.error.startswith("job raised"):
+                            self._finish(done, HttpResponse(
+                                status=500, body={"error": deferred.error}))
+                        return
+                    status, body = result.render(deferred.value)
+                    self._finish(done, HttpResponse(status=status, body=body))
+
+                self.sim.spawn(deferred_waiter(), name="rest.deferred")
+            elif isinstance(result, RestBackground):
+                self.instance.submit(result.job)
+                self._finish(done, HttpResponse(status=result.status,
+                                                body=result.body))
+            else:
+                status, body = self._coerce(result)
+                self._finish(done, HttpResponse(status=status, body=body))
+
+        self.sim.spawn(waiter(), name=f"rest.wait.{self.api.name}")
+        return done
+
+    def _error_response(self, error: str) -> HttpResponse:
+        # handler raised: HttpError carries a status, anything else is a 500
+        match = re.search(r"job raised: (.*)", error)
+        message = match.group(1) if match else error
+        return HttpResponse(status=500, body={"error": message})
+
+    @staticmethod
+    def _coerce(result: Any) -> Tuple[int, Any]:
+        if isinstance(result, tuple) and len(result) == 2 and isinstance(result[0], int):
+            return result
+        return 200, result
+
+    def _finish(self, done: Signal, response: HttpResponse) -> None:
+        if not done.fired:
+            done.fire(response)
+
+
+def handler_error_to_response(fn: Callable) -> Callable:
+    """Wrap a handler so :class:`HttpError` becomes a status tuple.
+
+    Job execution converts exceptions to failed outcomes, losing the
+    status code; wrapping keeps 4xx semantics intact.
+    """
+
+    def wrapped(request: HttpRequest, params: Dict[str, str]):
+        try:
+            return fn(request, params)
+        except HttpError as err:
+            return err.status, {"error": err.message}
+
+    return wrapped

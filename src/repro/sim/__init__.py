@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel underpinning the EVOp substrate.
+
+Every simulated subsystem (cloud providers, service transports, sensor
+feeds, the broker) is driven by a single :class:`~repro.sim.kernel.Simulator`
+instance: a classic event-calendar DES with generator-based processes,
+seeded named random streams and a metrics recorder.
+
+The kernel is deliberately small and deterministic: given the same seed and
+the same workload, a simulation replays identically, which is what makes
+the benchmark harness reproducible.
+"""
+
+from repro.sim.kernel import EventHandle, Interrupt, Process, Signal, Simulator
+from repro.sim.metrics import Counter, Gauge, MetricsRegistry, TimeSeriesRecorder
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "Counter",
+    "EventHandle",
+    "Gauge",
+    "Interrupt",
+    "MetricsRegistry",
+    "Process",
+    "RandomStreams",
+    "Signal",
+    "Simulator",
+    "TimeSeriesRecorder",
+]

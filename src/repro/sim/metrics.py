@@ -1,0 +1,220 @@
+"""Lightweight metrics for simulated subsystems.
+
+Three primitives cover everything the benches report:
+
+* :class:`Counter` — monotonically increasing totals (requests served,
+  bytes on the wire, cloudburst events).
+* :class:`Gauge` — instantaneous values with time-weighted averaging
+  (instances running, CPU utilisation).
+* :class:`TimeSeriesRecorder` — raw ``(t, value)`` samples with percentile
+  summaries (request latency, session wait).
+
+A :class:`MetricsRegistry` namespaces them per subsystem and renders a
+plain-dict snapshot the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.kernel import Simulator
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        return self._value
+
+    def increment(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+
+class Gauge:
+    """An instantaneous value with a time-weighted mean.
+
+    The time-weighted mean is what capacity questions need: "how many
+    instances were running *on average*" is the integral of the gauge over
+    the observation window divided by its length, not the mean of the set
+    values.
+    """
+
+    __slots__ = ("name", "_sim", "_value", "_last_change", "_area", "_start",
+                 "_peak")
+
+    def __init__(self, name: str, sim: Simulator, initial: float = 0.0):
+        self.name = name
+        self._sim = sim
+        self._value = initial
+        self._last_change = sim.now
+        self._start = sim.now
+        self._area = 0.0
+        self._peak = initial
+
+    @property
+    def value(self) -> float:
+        """Current gauge value."""
+        return self._value
+
+    @property
+    def peak(self) -> float:
+        """Maximum value ever set."""
+        return self._peak
+
+    def set(self, value: float) -> None:
+        """Set the gauge, accruing area for the elapsed interval."""
+        now = self._sim.now
+        self._area += self._value * (now - self._last_change)
+        self._last_change = now
+        self._value = value
+        if value > self._peak:
+            self._peak = value
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by ``delta``."""
+        self.set(self._value + delta)
+
+    def time_weighted_mean(self) -> float:
+        """Mean value weighted by how long each value was held."""
+        now = self._sim.now
+        span = now - self._start
+        if span <= 0:
+            return self._value
+        area = self._area + self._value * (now - self._last_change)
+        return area / span
+
+
+class TimeSeriesRecorder:
+    """Raw samples with summary statistics.
+
+    Stores every ``(t, value)`` pair; the simulated workloads are small
+    enough (tens of thousands of samples) that exact percentiles beat the
+    complexity of a sketch.
+    """
+
+    __slots__ = ("name", "_sim", "_samples")
+
+    def __init__(self, name: str, sim: Simulator):
+        self.name = name
+        self._sim = sim
+        self._samples: List[Tuple[float, float]] = []
+
+    def record(self, value: float) -> None:
+        """Record ``value`` at the current simulated time."""
+        self._samples.append((self._sim.now, value))
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[Tuple[float, float]]:
+        """Copy of the raw ``(time, value)`` samples."""
+        return list(self._samples)
+
+    def values(self) -> List[float]:
+        """Just the sample values, in recording order."""
+        return [v for _t, v in self._samples]
+
+    def mean(self) -> float:
+        """Arithmetic mean of the values (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return sum(v for _t, v in self._samples) / len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile ``q`` in [0, 100] by linear interpolation."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(v for _t, v in self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def maximum(self) -> float:
+        """Largest recorded value (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return max(v for _t, v in self._samples)
+
+    def window(self, start: float, end: float) -> List[float]:
+        """Values recorded in the half-open time window ``[start, end)``."""
+        return [v for t, v in self._samples if start <= t < end]
+
+
+class MetricsRegistry:
+    """Namespace of counters, gauges and recorders for one subsystem."""
+
+    def __init__(self, sim: Simulator, namespace: str = ""):
+        self._sim = sim
+        self.namespace = namespace
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._recorders: Dict[str, TimeSeriesRecorder] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(self._qualify(name))
+        return self._counters[name]
+
+    def gauge(self, name: str, initial: float = 0.0) -> Gauge:
+        """Get or create the gauge ``name``."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(self._qualify(name), self._sim, initial)
+        return self._gauges[name]
+
+    def recorder(self, name: str) -> TimeSeriesRecorder:
+        """Get or create the time-series recorder ``name``."""
+        if name not in self._recorders:
+            self._recorders[name] = TimeSeriesRecorder(self._qualify(name), self._sim)
+        return self._recorders[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of every metric's headline number.
+
+        Counters report their total, gauges their current value plus
+        ``<name>.mean`` and ``<name>.peak``, recorders their mean plus
+        ``<name>.p95`` and ``<name>.count``.
+        """
+        out: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+            out[f"{name}.mean"] = gauge.time_weighted_mean()
+            out[f"{name}.peak"] = gauge.peak
+        for name, rec in self._recorders.items():
+            out[f"{name}.mean"] = rec.mean()
+            out[f"{name}.p95"] = rec.percentile(95)
+            out[f"{name}.count"] = float(rec.count)
+        return out
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.namespace}.{name}" if self.namespace else name
+
+    def sub(self, namespace: str) -> "MetricsRegistry":
+        """A child registry sharing the simulator, nested namespace."""
+        child = MetricsRegistry(self._sim, self._qualify(namespace))
+        return child

@@ -1,0 +1,30 @@
+"""Workflow composition — the paper's future-work feature, implemented.
+
+"A workflow is a conglomerate scientific process composed of a directed
+acyclic graph of basic execution units (e.g. executables, scripts, web
+services, etc.).  Workflows allow 'advanced' users ... to create complex
+experiments that can be easily tweaked and replayed, offering
+reproducibility and traceability."
+
+This package provides the DAG model, an execution engine with
+content-addressed stage caching (tweak one parameter, re-run, and only
+the downstream stages recompute), and a provenance trail per run.
+"""
+
+from repro.workflow.dag import CycleError, Workflow, WorkflowNode
+from repro.workflow.engine import RunRecord, StageRecord, WorkflowEngine
+from repro.workflow.cloud import CloudWorkflowEngine, ServiceCall, service_node
+from repro.workflow.compose import compose_wps_process
+
+__all__ = [
+    "CloudWorkflowEngine",
+    "CycleError",
+    "RunRecord",
+    "ServiceCall",
+    "StageRecord",
+    "Workflow",
+    "WorkflowEngine",
+    "WorkflowNode",
+    "compose_wps_process",
+    "service_node",
+]

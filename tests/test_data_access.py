@@ -1,0 +1,133 @@
+"""Tests for the data-ownership / delegation model."""
+
+import pytest
+
+from repro.cloud import BlobStore
+from repro.data import (
+    AccessDenied,
+    AccessPolicy,
+    DataWarehouse,
+    GuardedWarehouse,
+    MODEL_RUNNER,
+    STUDY_CATCHMENTS,
+)
+from repro.hydrology import TimeSeries
+from repro.modellib import make_topmodel_process
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def setup():
+    sim = Simulator()
+    warehouse = DataWarehouse(BlobStore(sim))
+    policy = AccessPolicy()
+    owner_view = GuardedWarehouse(warehouse, policy, "dr-rivers")
+    series = TimeSeries(0, 3600, [0.2] * 24 + [8, 12, 6] + [0.1] * 69,
+                        units="mm/h", name="private-gauge")
+    owner_view.put_series("user/dr-rivers/private", series,
+                          provenance="field campaign", restricted=True)
+    owner_view.put_series("user/dr-rivers/open", series,
+                          provenance="open data", restricted=False)
+    return sim, warehouse, policy, owner_view
+
+
+def test_owner_reads_own_restricted_data(setup):
+    _sim, _wh, _policy, owner_view = setup
+    assert owner_view.get_series("user/dr-rivers/private").total() > 0
+    assert "field" in owner_view.describe("user/dr-rivers/private")["provenance"]
+
+
+def test_stranger_denied_raw_access(setup):
+    _sim, _wh, _policy, owner_view = setup
+    stranger = owner_view.as_principal("nosy-neighbour")
+    with pytest.raises(AccessDenied):
+        stranger.get_series("user/dr-rivers/private")
+    with pytest.raises(AccessDenied):
+        stranger.describe("user/dr-rivers/private")
+    # unrestricted data remains open
+    assert stranger.get_series("user/dr-rivers/open").total() > 0
+    # and existence/listing are not secret
+    assert stranger.exists("user/dr-rivers/private")
+    assert "user/dr-rivers/private" in stranger.list("user/")
+
+
+def test_anonymous_denied_restricted_and_writes(setup):
+    _sim, _wh, _policy, owner_view = setup
+    anon = owner_view.as_principal(None)
+    with pytest.raises(AccessDenied):
+        anon.get_series("user/dr-rivers/private")
+    with pytest.raises(AccessDenied):
+        anon.put_series("x", TimeSeries(0, 3600, [1, 2]))
+
+
+def test_owner_can_grant_and_revoke(setup):
+    _sim, _wh, policy, owner_view = setup
+    colleague = owner_view.as_principal("colleague")
+    policy.grant("user/dr-rivers/private", "colleague",
+                 granted_by="dr-rivers")
+    assert colleague.get_series("user/dr-rivers/private").total() > 0
+    policy.revoke("user/dr-rivers/private", "colleague",
+                  revoked_by="dr-rivers")
+    with pytest.raises(AccessDenied):
+        colleague.get_series("user/dr-rivers/private")
+
+
+def test_only_owner_grants(setup):
+    _sim, _wh, policy, _owner_view = setup
+    with pytest.raises(AccessDenied):
+        policy.grant("user/dr-rivers/private", "me", granted_by="me")
+    with pytest.raises(AccessDenied):
+        policy.revoke("user/dr-rivers/private", "me", revoked_by="me")
+
+
+def test_delegated_compute_uses_data_without_giving_it_away(setup):
+    """The paper's delegation claim, end to end.
+
+    A stranger cannot download dr-rivers' series — but the model-runner
+    principal can drive TOPMODEL with it, and the stranger receives only
+    the derived hydrograph summary.
+    """
+    _sim, _wh, _policy, owner_view = setup
+    runner_view = owner_view.as_principal(MODEL_RUNNER)
+    process = make_topmodel_process(STUDY_CATCHMENTS["morland"],
+                                    warehouse=runner_view)
+    inputs = process.validate(
+        {"rainfall_dataset": "user/dr-rivers/private"})
+    outputs = process.execute(inputs)
+    assert outputs["peak_mm_h"] > 0
+    # what leaves is the derived product, not raw custody: the stranger
+    # still cannot fetch the series itself
+    stranger = owner_view.as_principal("nosy-neighbour")
+    with pytest.raises(AccessDenied):
+        stranger.get_series("user/dr-rivers/private")
+
+
+def test_delegation_can_be_disabled(setup):
+    sim, warehouse, policy, owner_view = setup
+    series = TimeSeries(0, 3600, [1.0] * 48, units="mm/h")
+    warehouse.put_series("user/dr-rivers/embargoed", series)
+    policy.register("user/dr-rivers/embargoed", owner="dr-rivers",
+                    restricted=True, delegated_compute=False)
+    runner_view = owner_view.as_principal(MODEL_RUNNER)
+    with pytest.raises(AccessDenied):
+        runner_view.get_series("user/dr-rivers/embargoed")
+
+
+def test_audit_log_records_decisions(setup):
+    _sim, _wh, policy, owner_view = setup
+    stranger = owner_view.as_principal("nosy-neighbour")
+    with pytest.raises(AccessDenied):
+        stranger.get_series("user/dr-rivers/private")
+    owner_view.get_series("user/dr-rivers/private")
+    denied = [e for e in policy.audit_log if not e["allowed"]]
+    allowed = [e for e in policy.audit_log if e["allowed"]]
+    assert denied and denied[-1]["principal"] == "nosy-neighbour"
+    assert allowed and allowed[-1]["principal"] == "dr-rivers"
+
+
+def test_unregistered_datasets_are_public(setup):
+    _sim, warehouse, policy, owner_view = setup
+    warehouse.put_series("legacy/open-rainfall",
+                         TimeSeries(0, 3600, [1.0, 2.0]))
+    anyone = owner_view.as_principal(None)
+    assert anyone.get_series("legacy/open-rainfall").total() == 3.0

@@ -1,0 +1,103 @@
+"""Unit tests for the observational QC pipeline."""
+
+import math
+
+import pytest
+
+from repro.data import quality_control
+from repro.data.quality import (
+    PHYSICAL_LIMITS,
+    detect_flatlines,
+    detect_out_of_range,
+    detect_spikes,
+)
+from repro.hydrology import TimeSeries
+
+
+def series(values, dt=900.0):
+    return TimeSeries(0, dt, values, units="m", name="level")
+
+
+def test_out_of_range_detection():
+    ts = series([0.5, 0.6, 99.0, -3.0, 0.7])
+    assert detect_out_of_range(ts, PHYSICAL_LIMITS["river_level"]) == [2, 3]
+
+
+def test_spike_detection_finds_isolated_jump():
+    values = [0.50, 0.52, 0.51, 9.0, 0.53, 0.52, 0.51]
+    spikes = detect_spikes(series(values))
+    assert spikes == [3]
+
+
+def test_spike_detection_ignores_genuine_rise():
+    # a flood wave rises over several samples: not a spike
+    values = [0.5, 0.6, 0.9, 1.4, 2.0, 2.4, 2.6, 2.5, 2.2]
+    assert detect_spikes(series(values)) == []
+
+
+def test_spike_detection_window_validation():
+    with pytest.raises(ValueError):
+        detect_spikes(series([1, 2, 3]), window=4)
+    with pytest.raises(ValueError):
+        detect_spikes(series([1, 2, 3]), window=1)
+
+
+def test_flatline_detection_flags_stuck_sensor():
+    values = [0.5, 0.6] + [0.77] * 10 + [0.6, 0.5]
+    flat = detect_flatlines(series(values), min_run=8)
+    assert flat == list(range(2, 12))
+
+
+def test_flatline_ignores_zero_runs():
+    # a fortnight without rain is weather, not a broken gauge
+    values = [0.0] * 40 + [2.0, 1.0]
+    assert detect_flatlines(series(values), min_run=8) == []
+
+
+def test_quality_control_full_pipeline():
+    values = ([0.5, 0.52, 0.51, 0.53] * 6        # healthy
+              + [25.0]                            # out of physical range
+              + [0.5, math.nan, 0.52]             # a gap
+              + [0.5, 7.0, 0.52]                  # a spike
+              + [0.9] * 10)                       # a flatline
+    ts = series(values)
+    cleaned, report = quality_control(ts, "river_level")
+    assert report.total_samples == len(values)
+    assert report.count("out-of-range") == 1
+    assert report.count("gap") == 1
+    assert report.count("spike") >= 1
+    assert report.count("flatline") == 10
+    # the cleaned series has no gaps and no wild values
+    assert cleaned.gap_count() == 0
+    assert cleaned.maximum() < 5.0
+    assert len(cleaned) == len(values)
+    assert report.flagged_fraction() > 0
+    # the flags carry timestamps
+    assert all(f.time == f.index * 900.0 for f in report.flags)
+
+
+def test_quality_control_clean_series_untouched():
+    values = [0.5 + 0.01 * (i % 7) for i in range(50)]
+    cleaned, report = quality_control(series(values), "river_level")
+    assert report.count() == 0
+    assert report.usable()
+    assert cleaned.values == pytest.approx(values)
+
+
+def test_quality_control_unusable_when_mostly_junk():
+    values = [99.0] * 30 + [0.5, 0.52]
+    _cleaned, report = quality_control(series(values), "river_level")
+    assert not report.usable()
+
+
+def test_quality_control_unknown_property_skips_range_check():
+    values = [1e9, 1e9 + 1, 1e9 + 2, 1e9 + 1, 1e9]
+    _cleaned, report = quality_control(series(values), "exotic_property")
+    assert report.count("out-of-range") == 0
+
+
+def test_quality_control_explicit_limits_override():
+    values = [0.5, 0.6, 3.0, 0.7, 0.6]
+    _cleaned, report = quality_control(series(values), "river_level",
+                                       limits=(0.0, 1.0))
+    assert report.count("out-of-range") == 1

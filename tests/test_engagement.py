@@ -1,0 +1,183 @@
+"""Tests for the engagement process: storyboards, TDD cycles, workshops."""
+
+import pytest
+
+from repro.engagement import (
+    ArtefactState,
+    CyclePhase,
+    DevelopmentProcess,
+    EngagementFunnel,
+    FeedbackEntry,
+    Storyboard,
+    Workshop,
+)
+from repro.engagement.stakeholders import (
+    TARGET_GROUPS,
+    simulate_workshop_feedback,
+)
+from repro.engagement.storyboard import left_flooding_storyboard
+from repro.sim import RandomStreams
+
+
+# -- storyboards ------------------------------------------------------------------
+
+
+def test_left_storyboard_prepopulated():
+    storyboard = left_flooding_storyboard()
+    assert len(storyboard.steps) == 5
+    assert len(storyboard.requirements) == 6
+    assert storyboard.coverage() == 0.0
+    assert "flooding" in storyboard.purpose
+
+
+def test_requirement_capture_and_satisfaction():
+    storyboard = Storyboard("t", "owner", "purpose")
+    storyboard.add_step("S1", "narrative")
+    requirement = storyboard.capture_requirement("must map assets",
+                                                 source_step="S1")
+    assert requirement.source_step == "S1"
+    assert storyboard.unsatisfied() == [requirement]
+    storyboard.mark_satisfied(requirement.requirement_id)
+    assert storyboard.coverage() == 1.0
+    with pytest.raises(KeyError):
+        storyboard.mark_satisfied("REQ-999")
+
+
+def test_storyboard_step_validation():
+    storyboard = Storyboard("t", "owner", "purpose")
+    storyboard.add_step("S1", "n")
+    with pytest.raises(ValueError):
+        storyboard.add_step("S1", "dup")
+    with pytest.raises(ValueError):
+        storyboard.capture_requirement("x", source_step="S9")
+
+
+# -- TDD process -------------------------------------------------------------------
+
+
+def test_verification_then_validation_flow():
+    process = DevelopmentProcess()
+    artefact = process.new_artefact("modelling widget", "LEFT")
+    assert artefact.state == ArtefactState.DRAFT
+
+    with pytest.raises(ValueError):
+        process.run_validation(artefact, 45.0)  # cannot validate a draft
+
+    process.run_verification(artefact, 3.0)
+    assert artefact.state == ArtefactState.VERIFIED
+    process.run_validation(artefact, 45.0, feedback="add uncertainty bounds")
+    assert artefact.state == ArtefactState.VALIDATED
+    assert process.validated_artefacts() == [artefact]
+    assert process.day == pytest.approx(48.0)
+
+
+def test_cycle_duration_bounds_enforced():
+    process = DevelopmentProcess()
+    artefact = process.new_artefact("x", "LEFT")
+    with pytest.raises(ValueError):
+        process.run_verification(artefact, 10.0)  # too long for verification
+    process.run_verification(artefact, 2.0)
+    with pytest.raises(ValueError):
+        process.run_validation(artefact, 5.0)  # too short for validation
+
+
+def test_failed_validation_returns_to_draft():
+    process = DevelopmentProcess()
+    artefact = process.new_artefact("x", "LEFT")
+    process.run_verification(artefact, 2.0)
+    process.run_validation(artefact, 40.0, passed=False,
+                           feedback="not intuitive for farmers")
+    assert artefact.state == ArtefactState.DRAFT
+
+
+def test_dialogue_is_bidirectional():
+    process = DevelopmentProcess()
+    artefact = process.new_artefact("x", "LEFT")
+    process.run_verification(artefact, 2.0)
+    process.run_validation(artefact, 40.0, feedback="looks great")
+    balance = process.dialogue_balance()
+    assert balance["researchers->stakeholders"] >= 2
+    assert balance["stakeholders->researchers"] >= 1
+
+
+def test_cycle_statistics():
+    process = DevelopmentProcess()
+    artefact = process.new_artefact("x", "LEFT")
+    process.run_verification(artefact, 2.0)
+    process.run_verification(artefact, 6.0)
+    process.run_validation(artefact, 30.0)
+    assert process.mean_cycle_days(CyclePhase.VERIFICATION) == 4.0
+    assert process.mean_cycle_days(CyclePhase.VALIDATION) == 30.0
+    assert len(process.cycles_of(CyclePhase.VERIFICATION)) == 2
+
+
+# -- workshops ---------------------------------------------------------------------
+
+
+def test_workshop_feedback_aggregation():
+    workshop = Workshop.new("morland", day=300.0)
+    workshop.collect(FeedbackEntry("farmers", useful=True, easy_to_use=True,
+                                   good_look_and_feel=True))
+    workshop.collect(FeedbackEntry("public", useful=True, easy_to_use=False,
+                                   good_look_and_feel=True))
+    assert workshop.fraction_useful_and_easy() == 0.5
+    assert Workshop.new("x", 0.0).fraction_useful_and_easy() == 0.0
+
+
+def test_simulated_workshop_reproduces_usability_headline():
+    """>75% found the tool both useful and easy to use (Section VI)."""
+    workshop = Workshop.new("morland", day=300.0, attendees={
+        "scientists": 4, "policy": 6, "farmers": 14, "public": 12})
+    simulate_workshop_feedback(workshop, TARGET_GROUPS,
+                               tool_quality=0.85, education_level=0.7,
+                               streams=RandomStreams(42))
+    assert workshop.fraction_useful_and_easy() > 0.75
+
+
+def test_workshop_feedback_worse_without_education():
+    educated = Workshop.new("morland", day=300.0, attendees={"farmers": 40})
+    uneducated = Workshop.new("morland", day=300.0, attendees={"farmers": 40})
+    simulate_workshop_feedback(educated, TARGET_GROUPS, education_level=0.8,
+                               streams=RandomStreams(1))
+    simulate_workshop_feedback(uneducated, TARGET_GROUPS, education_level=0.0,
+                               streams=RandomStreams(1))
+    assert educated.fraction_useful_and_easy() > \
+        uneducated.fraction_useful_and_easy()
+
+
+def test_workshop_parameter_validation():
+    workshop = Workshop.new("x", 0.0, attendees={"farmers": 1})
+    with pytest.raises(ValueError):
+        simulate_workshop_feedback(workshop, TARGET_GROUPS, tool_quality=2.0)
+
+
+# -- engagement funnel ----------------------------------------------------------------
+
+
+def test_funnel_awareness_alone_barely_engages():
+    funnel = EngagementFunnel(population=1000, streams=RandomStreams(3))
+    funnel.outreach(800)
+    for _ in range(3):
+        funnel.exposure_round(with_education=False)
+    assert funnel.engaged_fraction() < 0.15
+
+
+def test_funnel_education_widens_engagement():
+    base = EngagementFunnel(population=1000, streams=RandomStreams(3))
+    base.outreach(800)
+    educated = EngagementFunnel(population=1000, streams=RandomStreams(3))
+    educated.outreach(800)
+    for _ in range(3):
+        base.exposure_round(with_education=False)
+        educated.exposure_round(with_education=True)
+    assert educated.engaged_fraction() > 3 * base.engaged_fraction()
+    snapshot = educated.snapshot()
+    assert snapshot["engaged"] <= snapshot["understands"] <= snapshot["aware"]
+
+
+def test_funnel_validation():
+    with pytest.raises(ValueError):
+        EngagementFunnel(population=0)
+    funnel = EngagementFunnel(population=10)
+    funnel.outreach(50)
+    assert funnel.aware == 10  # capped at the population

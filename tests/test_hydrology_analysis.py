@@ -1,0 +1,219 @@
+"""Unit tests for hydrograph analysis, calibration and GLUE."""
+
+import math
+import random
+
+import pytest
+
+from repro.hydrology import (
+    GlueAnalysis,
+    HydrographAnalysis,
+    MonteCarloCalibrator,
+    TimeSeries,
+    Topmodel,
+    TopmodelParameters,
+    nash_sutcliffe_efficiency,
+)
+
+
+def flow_series(values):
+    return TimeSeries(0, 3600, values, units="mm/step", name="flow")
+
+
+# -- hydrograph analysis -------------------------------------------------------
+
+
+def test_peak_and_volume():
+    analysis = HydrographAnalysis(flow_series([0, 1, 5, 2, 0]))
+    assert analysis.peak() == 5
+    assert analysis.total_volume() == 8
+    assert analysis.flow.argmax_time() == 2 * 3600
+
+
+def test_empty_flow_rejected():
+    with pytest.raises(ValueError):
+        HydrographAnalysis(flow_series([]))
+
+
+def test_time_to_peak_from_rain_centroid():
+    rain = flow_series([0, 10, 0, 0, 0])
+    flow = flow_series([0, 0, 0, 4, 1])
+    analysis = HydrographAnalysis(flow, rain)
+    # centroid at t=1h, peak at t=3h
+    assert analysis.time_to_peak() == 2 * 3600
+
+
+def test_runoff_coefficient():
+    rain = flow_series([10, 10, 0, 0])
+    flow = flow_series([1, 2, 3, 4])
+    analysis = HydrographAnalysis(flow, rain)
+    assert analysis.runoff_coefficient() == 0.5
+    with pytest.raises(ValueError):
+        HydrographAnalysis(flow).runoff_coefficient()
+
+
+def test_exceedance_fraction():
+    analysis = HydrographAnalysis(flow_series([0, 1, 2, 3]))
+    assert analysis.exceedance_fraction(1.5) == 0.5
+    assert analysis.exceedance_fraction(99) == 0.0
+
+
+def test_flow_duration_curve_monotone():
+    values = [random.Random(1).random() * 10 for _ in range(200)]
+    curve = HydrographAnalysis(flow_series(values)).flow_duration_curve()
+    flows = [q for _p, q in curve]
+    assert flows == sorted(flows, reverse=True)
+    probs = [p for p, _q in curve]
+    assert probs == sorted(probs)
+
+
+def test_events_above_threshold_split_and_merge():
+    # two events separated by a long dry spell; a 1-step dip does not split
+    values = [0, 5, 6, 0, 5, 0, 0, 0, 7, 8, 0]
+    analysis = HydrographAnalysis(flow_series(values))
+    events = analysis.events_above(1.0, min_gap_steps=2)
+    assert len(events) == 2
+    first, second = events
+    assert first.peak == 6
+    assert first.volume == pytest.approx(5 + 6 + 0 + 5)
+    assert second.peak == 8
+    assert second.peak_time == 9 * 3600
+
+
+def test_event_open_at_series_end():
+    events = HydrographAnalysis(flow_series([0, 2, 3])).events_above(1.0)
+    assert len(events) == 1
+    assert events[0].end_time == 3 * 3600
+
+
+def test_recession_constant():
+    analysis = HydrographAnalysis(flow_series([8, 4, 2, 1]))
+    assert analysis.recession_constant() == pytest.approx(0.5)
+    assert HydrographAnalysis(flow_series([1, 2, 3])).recession_constant() is None
+
+
+def test_summary_keys():
+    rain = flow_series([10, 0, 0, 0])
+    flow = flow_series([0, 3, 2, 1])
+    summary = HydrographAnalysis(flow, rain).summary(threshold=1.5)
+    assert set(summary) >= {"peak", "time_to_peak", "volume",
+                            "runoff_coefficient", "exceedance_fraction",
+                            "events"}
+
+
+# -- calibration ---------------------------------------------------------------
+
+
+def quadratic_simulator(params):
+    """Toy 'model': series determined by a single parameter a."""
+    a = params["a"]
+    return [a * t for t in range(10)]
+
+
+def test_calibrator_finds_good_parameters():
+    observed = [2.0 * t for t in range(10)]
+    calibrator = MonteCarloCalibrator(
+        ranges={"a": (0.0, 5.0)},
+        simulate=quadratic_simulator,
+        rng=random.Random(7),
+    )
+    result = calibrator.calibrate(observed, iterations=300,
+                                  behavioural_threshold=0.9)
+    assert result.best.score > 0.99
+    assert abs(result.best.parameters["a"] - 2.0) < 0.1
+    assert 0 < result.acceptance_rate() < 1
+    lo, hi = result.parameter_bounds("a")
+    assert lo < 2.0 < hi
+
+
+def test_calibrator_survives_simulation_failures():
+    def flaky(params):
+        if params["a"] > 2.5:
+            raise ValueError("model exploded")
+        return quadratic_simulator(params)
+
+    calibrator = MonteCarloCalibrator(
+        ranges={"a": (0.0, 5.0)}, simulate=flaky, rng=random.Random(3))
+    result = calibrator.calibrate([2.0 * t for t in range(10)], iterations=100)
+    failed = [s for s in result.samples if s.score == float("-inf")]
+    assert failed  # some draws exploded...
+    assert result.best.score > 0.9  # ...but calibration still succeeded
+
+
+def test_calibrator_validates_ranges():
+    with pytest.raises(ValueError):
+        MonteCarloCalibrator(ranges={}, simulate=quadratic_simulator)
+    with pytest.raises(ValueError):
+        MonteCarloCalibrator(ranges={"a": (5.0, 1.0)},
+                             simulate=quadratic_simulator)
+
+
+def test_calibrate_real_topmodel_against_synthetic_truth():
+    """Calibration recovers behavioural fits on a TOPMODEL-generated truth."""
+    rain = TimeSeries(0, 3600, [0.2] * 24 + [5, 8, 12, 15, 10, 6, 3, 1]
+                      + [0.1] * 96, units="mm/step")
+    model = Topmodel(Topmodel.exponential_ti_distribution(), dt_hours=1.0)
+    truth_params = TopmodelParameters(m=20.0, q0_mm_h=0.3, td=0.8)
+    observed = model.run(rain, parameters=truth_params).flow.values
+
+    def simulate(params):
+        p = TopmodelParameters(q0_mm_h=0.3).with_updates(
+            m=params["m"], td=params["td"])
+        return model.run(rain, parameters=p).flow.values
+
+    calibrator = MonteCarloCalibrator(
+        ranges={"m": (5.0, 60.0), "td": (0.1, 5.0)},
+        simulate=simulate, rng=random.Random(11))
+    result = calibrator.calibrate(observed, iterations=120,
+                                  behavioural_threshold=0.7)
+    assert result.best.score > 0.9
+    assert len(result.behavioural) >= 3
+
+
+# -- GLUE -----------------------------------------------------------------------
+
+
+def test_glue_bounds_bracket_truth():
+    observed = [2.0 * t for t in range(10)]
+    calibrator = MonteCarloCalibrator(
+        ranges={"a": (0.0, 5.0)}, simulate=quadratic_simulator,
+        rng=random.Random(5))
+    calibration = calibrator.calibrate(observed, iterations=400,
+                                       behavioural_threshold=0.8)
+    glue = GlueAnalysis(quadratic_simulator)
+    result = glue.run(calibration)
+    assert result.behavioural_count > 0
+    assert result.total_count == 400
+    for i in range(10):
+        lo, hi = result.bounds_at(i)
+        assert lo <= hi
+    assert result.coverage(observed) > 0.8
+    assert result.sharpness() >= 0.0
+
+
+def test_glue_requires_behavioural_sets():
+    calibrator = MonteCarloCalibrator(
+        ranges={"a": (0.0, 5.0)}, simulate=quadratic_simulator,
+        rng=random.Random(5))
+    calibration = calibrator.calibrate([1e9] * 10, iterations=10,
+                                       behavioural_threshold=0.99)
+    with pytest.raises(ValueError):
+        GlueAnalysis(quadratic_simulator).run(calibration)
+
+
+def test_glue_quantile_validation():
+    with pytest.raises(ValueError):
+        GlueAnalysis(quadratic_simulator, lower_quantile=0.9,
+                     upper_quantile=0.1)
+
+
+def test_glue_coverage_length_check():
+    observed = [2.0 * t for t in range(10)]
+    calibrator = MonteCarloCalibrator(
+        ranges={"a": (0.0, 5.0)}, simulate=quadratic_simulator,
+        rng=random.Random(5))
+    calibration = calibrator.calibrate(observed, iterations=50,
+                                       behavioural_threshold=0.5)
+    result = GlueAnalysis(quadratic_simulator).run(calibration)
+    with pytest.raises(ValueError):
+        result.coverage([1.0])

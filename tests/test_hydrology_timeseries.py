@@ -1,0 +1,141 @@
+"""Unit tests for the TimeSeries container."""
+
+import math
+
+import pytest
+
+from repro.hydrology import TimeSeries
+
+
+def make(values, start=0.0, dt=3600.0):
+    return TimeSeries(start, dt, values)
+
+
+def test_basic_properties():
+    ts = make([1, 2, 3])
+    assert len(ts) == 3
+    assert ts.values == [1, 2, 3]
+    assert ts.end == 3 * 3600.0
+    assert ts.times() == [0.0, 3600.0, 7200.0]
+    assert ts[1] == 2
+
+
+def test_at_and_index_at():
+    ts = make([10, 20, 30])
+    assert ts.at(0.0) == 10
+    assert ts.at(3599.9) == 10
+    assert ts.at(3600.0) == 20
+    assert ts.index_at(7200.0) == 2
+    with pytest.raises(IndexError):
+        ts.at(10800.0)
+    with pytest.raises(IndexError):
+        ts.at(-1.0)
+
+
+def test_invalid_dt():
+    with pytest.raises(ValueError):
+        TimeSeries(0, 0, [1])
+
+
+def test_slice_clamps_to_series():
+    ts = make([0, 1, 2, 3, 4])
+    sliced = ts.slice(3600.0, 3 * 3600.0)
+    assert sliced.values == [1, 2]
+    assert sliced.start == 3600.0
+    assert ts.slice(-100, 1e9).values == ts.values
+    assert ts.slice(5000, 5000).values == []
+
+
+def test_resample_sum_and_mean():
+    ts = make([1, 2, 3, 4, 5, 6])
+    assert ts.resample(7200.0, how="sum").values == [3, 7, 11]
+    assert ts.resample(7200.0, how="mean").values == [1.5, 3.5, 5.5]
+    assert ts.resample(10800.0, how="max").values == [3, 6]
+
+
+def test_resample_rejects_non_multiple():
+    ts = make([1, 2, 3])
+    with pytest.raises(ValueError):
+        ts.resample(5400.0)
+    with pytest.raises(ValueError):
+        ts.resample(1800.0)
+    with pytest.raises(ValueError):
+        ts.resample(7200.0, how="median")
+
+
+def test_resample_skips_nan():
+    ts = make([1, math.nan, 3, math.nan])
+    assert ts.resample(7200.0, how="mean").values[0] == 1.0
+
+
+def test_fill_gaps_interpolate():
+    ts = make([1.0, math.nan, math.nan, 4.0])
+    filled = ts.fill_gaps("interpolate")
+    assert filled.values == [1.0, 2.0, 3.0, 4.0]
+    assert ts.gap_count() == 2
+    assert filled.gap_count() == 0
+
+
+def test_fill_gaps_leading_and_trailing():
+    ts = make([math.nan, 2.0, math.nan])
+    filled = ts.fill_gaps("interpolate")
+    assert filled.values == [2.0, 2.0, 2.0]
+
+
+def test_fill_gaps_zero_and_hold():
+    ts = make([math.nan, 5.0, math.nan])
+    assert ts.fill_gaps("zero").values == [0.0, 5.0, 0.0]
+    assert ts.fill_gaps("hold").values == [0.0, 5.0, 5.0]
+    with pytest.raises(ValueError):
+        ts.fill_gaps("magic")
+
+
+def test_map_preserves_nan():
+    ts = make([1.0, math.nan])
+    doubled = ts.map(lambda v: v * 2)
+    assert doubled.values[0] == 2.0
+    assert math.isnan(doubled.values[1])
+
+
+def test_shift_pads_with_zero():
+    ts = make([1, 2, 3])
+    assert ts.shift(1).values == [0, 1, 2]
+    with pytest.raises(ValueError):
+        ts.shift(-1)
+
+
+def test_statistics():
+    ts = make([1, 3, math.nan, 5])
+    assert ts.total() == 9
+    assert ts.mean() == 3
+    assert ts.maximum() == 5
+    assert ts.argmax_time() == 3 * 3600.0
+
+
+def test_aligned_with_and_arithmetic():
+    a = TimeSeries(0, 3600, [1, 2, 3, 4])
+    b = TimeSeries(3600, 3600, [10, 20, 30])
+    summed = a + b
+    assert summed.start == 3600
+    assert summed.values == [12, 23, 34]
+    diff = b - a
+    assert diff.values == [8, 17, 26]
+    scaled = a * 2
+    assert scaled.values == [2, 4, 6, 8]
+
+
+def test_align_rejects_mismatched_dt_or_disjoint():
+    a = TimeSeries(0, 3600, [1, 2])
+    b = TimeSeries(0, 1800, [1, 2])
+    with pytest.raises(ValueError):
+        a.aligned_with(b)
+    c = TimeSeries(1e6, 3600, [1, 2])
+    with pytest.raises(ValueError):
+        a.aligned_with(c)
+
+
+def test_zeros_like():
+    ts = make([1, 2, 3])
+    zeros = TimeSeries.zeros_like(ts)
+    assert zeros.values == [0, 0, 0]
+    assert zeros.dt == ts.dt

@@ -1,0 +1,57 @@
+"""Journey failure paths and admin visibility during incidents."""
+
+import pytest
+
+from repro.core import AdminConsole, Evop, EvopConfig
+from repro.portal import UserJourney
+
+
+def test_journey_reports_incomplete_when_service_unavailable():
+    """If the service pool is gone mid-journey, the log says so honestly."""
+    evop = Evop(EvopConfig(truth_days=3, storm_day=1, seed=67,
+                           max_replicas=1, min_replicas=1)).bootstrap()
+    evop.run_for(400.0)
+    service = evop.lb.service("left-morland")
+    # remove the only replica and forbid replacements
+    victim = service.serving()[0]
+    evop.monitor.unwatch(victim)       # nobody notices...
+    service.max_replicas = 0           # ...and nothing may boot
+    evop.injector.crash(victim)
+
+    journey = UserJourney(evop.sim, evop.left(), "stranded")
+    done = journey.start()
+    evop.run_for(1800.0)
+    # the journey is stuck waiting for an assignment: not completed,
+    # and the log records how far it got
+    assert not journey.log.completed
+    names = [s.name for s in journey.log.steps]
+    assert "landing_map" in names
+    assert "baseline_run" not in names
+    assert not done.fired or done.value is None or not done.value.completed
+
+
+def test_admin_console_reflects_cloudburst():
+    evop = Evop(EvopConfig(truth_days=3, storm_day=1, seed=69,
+                           private_vcpus=4, sessions_per_replica=1,
+                           autoscale_interval=10.0)).bootstrap()
+    evop.run_for(400.0)
+    console = AdminConsole(evop)
+    assert not console.status()["cloudbursting"]
+    sessions = [evop.rb.connect(f"u{i}", "left-morland") for i in range(6)]
+    evop.run_for(600.0)
+    status = console.status()
+    assert status["cloudbursting"]
+    locations = {r["location"] for s in status["services"]
+                 for r in s["replicas"]}
+    assert "public" in locations
+    rendered = console.render()
+    assert "cloudbursting=YES" in rendered
+    for session in sessions:
+        evop.rb.disconnect(session)
+
+
+def test_journey_log_total_duration_zero_when_empty():
+    from repro.portal.journey import JourneyLog
+    assert JourneyLog(user="x").total_duration() == 0.0
+    with pytest.raises(KeyError):
+        JourneyLog(user="x").step("nope")

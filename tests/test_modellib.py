@@ -1,0 +1,192 @@
+"""Unit tests for the Model Library and deployment paths."""
+
+import pytest
+
+from repro.cloud import (
+    AwsCloud,
+    BlobStore,
+    ImageKind,
+    ImageStore,
+    MultiCloud,
+    OpenStackCloud,
+)
+from repro.data import STUDY_CATCHMENTS
+from repro.modellib import (
+    CalibrationRecord,
+    ModelDeployer,
+    ModelKind,
+    ModelLibrary,
+    make_fuse_process,
+    make_topmodel_process,
+)
+from repro.sim import RandomStreams, Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def library():
+    return ModelLibrary(ImageStore())
+
+
+@pytest.fixture()
+def morland():
+    return STUDY_CATCHMENTS["morland"]
+
+
+def test_publish_streamlined_bakes_bundle(library, morland):
+    entry = library.publish_streamlined(
+        "topmodel-morland", morland, make_topmodel_process,
+        calibration=CalibrationRecord("morland", "NSE", 0.82, {"m": 15}, 500),
+        dataset_ids=("morland/rain",))
+    assert entry.kind == ModelKind.STREAMLINED
+    image = library.image_for("topmodel-morland")
+    assert image.kind == ImageKind.STREAMLINED
+    assert image.supports_model("topmodel-morland")
+    assert image.run_speed_factor == ModelLibrary.STREAMLINED_SPEED
+    assert entry.calibration.is_behavioural()
+
+
+def test_publish_experimental_authors_recipe(library, morland):
+    entry = library.publish_experimental(
+        "fuse-exp", morland, make_fuse_process, install_minutes=10.0)
+    assert entry.kind == ModelKind.EXPERIMENTAL
+    assert entry.recipe is not None
+    assert entry.recipe.total_duration == pytest.approx(600.0)
+    assert "fuse-exp" in entry.recipe.installed_models
+    image = library.image_for("fuse-exp")
+    assert image.kind == ImageKind.INCUBATOR
+    assert image.run_speed_factor == ModelLibrary.INCUBATOR_SPEED
+
+
+def test_incubator_base_is_shared(library, morland):
+    library.publish_experimental("a", morland, make_topmodel_process)
+    library.publish_experimental("b", morland, make_topmodel_process)
+    assert library.image_for("a") is library.image_for("b")
+
+
+def test_duplicate_model_name_rejected(library, morland):
+    library.publish_streamlined("m", morland, make_topmodel_process)
+    with pytest.raises(ValueError):
+        library.publish_experimental("m", morland, make_topmodel_process)
+
+
+def test_update_bundle_rebakes_new_generation(library, morland):
+    library.publish_streamlined("m", morland, make_topmodel_process)
+    first_image = library.image_for("m")
+    updated = library.update_bundle("m", extra_dataset_ids=("morland/2013",),
+                                    size_increase_gb=1.0)
+    assert updated.generation == 2
+    assert updated.parent_id == first_image.image_id
+    assert library.image_for("m") is updated
+    experimental = library.publish_experimental(
+        "x", morland, make_topmodel_process)
+    with pytest.raises(ValueError):
+        library.update_bundle("x")
+
+
+def test_unknown_model_lookup(library):
+    with pytest.raises(KeyError):
+        library.get("ghost")
+
+
+def test_list_filters_by_kind(library, morland):
+    library.publish_streamlined("s", morland, make_topmodel_process)
+    library.publish_experimental("e", morland, make_topmodel_process)
+    assert [e.name for e in library.list(ModelKind.STREAMLINED)] == ["s"]
+    assert len(library.list()) == 2
+
+
+def test_build_service_exposes_processes(sim, library, morland):
+    library.publish_streamlined("topmodel-morland", morland,
+                                make_topmodel_process)
+    store = BlobStore(sim)
+    service = library.build_service(
+        sim, "left-morland", ["topmodel-morland"],
+        store.create_container("status"), {"morland": morland})
+    assert service.processes() == ["topmodel-morland"]
+
+
+def test_topmodel_process_runs_scenarios(morland):
+    process = make_topmodel_process(morland)
+    inputs = process.validate({"duration_hours": 72, "scenario": "compaction"})
+    outputs = process.execute(inputs)
+    assert outputs["scenario"] == "compaction"
+    assert outputs["peak_mm_h"] > 0
+    assert len(outputs["hydrograph_mm_h"]) == 72
+    baseline = process.execute(process.validate({"duration_hours": 72}))
+    assert outputs["peak_mm_h"] > baseline["peak_mm_h"]
+
+
+def test_topmodel_process_rejects_bad_scenario(morland):
+    process = make_topmodel_process(morland)
+    inputs = process.validate({"scenario": "terraform"})
+    with pytest.raises(ValueError):
+        process.execute(inputs)
+
+
+def test_fuse_process_reports_ensemble_spread(morland):
+    process = make_fuse_process(morland)
+    outputs = process.execute(process.validate({"duration_hours": 48}))
+    assert len(outputs["members"]) == 16
+    assert len(outputs["lower_mm_h"]) == 48
+    for lo, hi in zip(outputs["lower_mm_h"], outputs["upper_mm_h"]):
+        assert lo <= hi + 1e-12
+    # the ensemble is ~16x the cost of a single run
+    single = make_topmodel_process(morland)
+    assert process.cost({"duration_hours": 48}) > \
+        10 * single.cost({"duration_hours": 48})
+
+
+def test_deployment_paths_trade_off(sim, library, morland):
+    """Streamlined: slower boot, faster run; incubator: the reverse."""
+    streams = RandomStreams(1)
+    private = OpenStackCloud(sim, total_vcpus=32, streams=streams)
+    multi = MultiCloud()
+    multi.register_compute("private", private)
+    library.publish_streamlined("bundle", morland, make_topmodel_process,
+                                bundle_size_gb=6.0)
+    library.publish_experimental("incubated", morland, make_topmodel_process,
+                                 install_minutes=8.0)
+    deployer = ModelDeployer(sim, multi, library)
+    bundle_done = deployer.deploy("bundle", first_run_cost=2.0)
+    incubator_done = deployer.deploy("incubated", first_run_cost=2.0)
+    sim.run()
+    bundle, incubated = bundle_done.value, incubator_done.value
+    assert bundle is not None and incubated is not None
+    assert bundle.path == "streamlined"
+    assert incubated.path == "experimental"
+    # the bigger bundle image boots slower...
+    assert bundle.boot_seconds > incubated.boot_seconds
+    # ...but needs no provisioning and runs faster per run
+    assert bundle.provision_seconds == 0.0
+    assert incubated.provision_seconds > 60.0
+    assert bundle.run_seconds < incubated.run_seconds
+    # overall the incubator path takes longer to first result here
+    assert incubated.time_to_first_result > bundle.time_to_first_result
+
+
+def test_deployment_fires_none_on_instance_crash(sim, library, morland):
+    streams = RandomStreams(2)
+    private = OpenStackCloud(sim, total_vcpus=8, streams=streams)
+    multi = MultiCloud()
+    multi.register_compute("private", private)
+    library.publish_experimental("doomed", morland, make_topmodel_process,
+                                 install_minutes=30.0)
+    deployer = ModelDeployer(sim, multi, library)
+    done = deployer.deploy("doomed")
+    # crash the instance mid-provisioning
+    from repro.cloud import FaultInjector
+    injector = FaultInjector(sim, [private])
+
+    def crash_when_running():
+        while not private.serving_instances():
+            yield 5.0
+        injector.crash(private.serving_instances()[0])
+
+    sim.spawn(crash_when_running(), name="crasher")
+    sim.run()
+    assert done.value is None

@@ -1,0 +1,178 @@
+"""Tests for the portal: render specs, map, widgets, LEFT, journeys."""
+
+import json
+
+import pytest
+
+from repro.core import Evop, EvopConfig
+from repro.data import AssetCatalog, AssetOrigin, BoundingBox
+from repro.hydrology import TimeSeries
+from repro.portal import (
+    ChartSpec,
+    MapView,
+    Marker,
+    Series,
+    UserJourney,
+)
+from repro.portal.basemap import WIDGET_FOR_KIND
+
+
+@pytest.fixture(scope="module")
+def evop():
+    """One bootstrapped deployment shared by the module's tests."""
+    deployment = Evop(EvopConfig(truth_days=10, storm_day=5)).bootstrap()
+    deployment.left().start_feeds(until=deployment.sim.now + 36 * 3600.0)
+    deployment.run_for(12 * 3600.0)  # half a day of live feeds
+    return deployment
+
+
+# -- render ---------------------------------------------------------------------
+
+
+def test_series_from_timeseries_drops_nan():
+    ts = TimeSeries(0, 3600, [1.0, float("nan"), 3.0], units="mm/h",
+                    name="rain")
+    series = Series.from_timeseries(ts)
+    assert series.label == "rain"
+    assert len(series.points) == 2
+    assert series.y_max() == 3.0
+
+
+def test_chartspec_json_roundtrip():
+    spec = ChartSpec(title="t", y_label="flow")
+    spec.add(Series(label="a", points=[(0, 1), (1, 2)]))
+    spec.add_threshold("warn", 1.5)
+    doc = json.loads(spec.to_json())
+    assert doc["title"] == "t"
+    assert doc["annotations"]["warn"] == 1.5
+    assert doc["series"][0]["points"] == [[0, 1], [1, 2]]
+
+
+def test_chartspec_ascii_contains_peak():
+    spec = ChartSpec(title="hydrograph")
+    spec.add(Series(label="flow", points=[(float(i), float(i % 5))
+                                          for i in range(50)], units="mm/h"))
+    art = spec.to_ascii()
+    assert "hydrograph" in art
+    assert "peak 4.00" in art
+    assert ChartSpec(title="empty").to_ascii().endswith("(no data)")
+
+
+# -- basemap -----------------------------------------------------------------------
+
+
+def test_markers_and_widget_mapping():
+    catalog = AssetCatalog()
+    catalog.add("rain", "sensor-feed", AssetOrigin.IN_SITU, 54.6, -2.6)
+    catalog.add("cam", "webcam", AssetOrigin.IN_SITU, 54.61, -2.61)
+    catalog.add("far away", "webcam", AssetOrigin.IN_SITU, 51.0, 0.0)
+    view = MapView(catalog, BoundingBox(54.0, -3.0, 55.0, -2.0))
+    markers = view.markers()
+    assert len(markers) == 2
+    widgets = {m.name: m.widget for m in markers}
+    assert widgets == {"rain": "timeseries", "cam": "webcam"}
+    asset = view.open(markers[0])
+    assert asset.name == markers[0].name
+
+
+def test_map_pan_and_kind_filter():
+    catalog = AssetCatalog()
+    catalog.add("rain", "sensor-feed", AssetOrigin.IN_SITU, 54.6, -2.6)
+    view = MapView(catalog, BoundingBox(50.0, -1.0, 51.0, 0.0))
+    assert view.markers() == []
+    moved = view.pan_to(MapView.catchment_viewport(54.6, -2.6))
+    assert len(moved.markers(kind="sensor-feed")) == 1
+    assert WIDGET_FOR_KIND["model"] == "modelling"
+
+
+# -- LEFT assembly (integration over the facade) --------------------------------------
+
+
+def test_landing_page_shows_all_catchment_assets(evop):
+    markers = evop.left().landing_page().markers()
+    # 4 sensors + 1 webcam + 1 model marker
+    assert len(markers) == 6
+    kinds = {m.kind for m in markers}
+    assert kinds == {"sensor-feed", "webcam", "model"}
+
+
+def test_timeseries_widget_shows_live_data(evop):
+    widget = evop.left().timeseries_widget("level-1")
+    assert widget.latest_value() is not None
+    chart = widget.chart(0.0, evop.sim.now)
+    assert chart.series[0].points
+    assert "river_level" in chart.title
+
+
+def test_multimodal_widget_aligns_modalities(evop):
+    widget = evop.left().multimodal_widget()
+    view = widget.view_at(evop.sim.now - 3600.0)
+    assert "water_temperature" in view.observations
+    assert "turbidity" in view.observations
+    assert view.frame is not None
+    # nearest-in-time alignment: within one sampling/capture interval
+    assert view.alignment_error() <= 1800.0
+    chart = widget.chart(0.0, evop.sim.now)
+    assert len(chart.series) == 2
+
+
+def test_modelling_widget_full_cycle(evop):
+    widget = evop.left().open_modelling_widget("tester")
+    evop.run_for(10.0)
+    assert widget.session.instance_address is not None
+    loaded = widget.load()
+    evop.run_for(10.0)
+    assert loaded.value is True
+    assert set(widget.sliders) == {"m", "srmax", "td", "q0_mm_h"}
+
+    widget.select_scenario("compaction")
+    assert widget.sliders["srmax"].value == 25.0
+    run_signal = widget.run(duration_hours=72)
+    evop.run_for(120.0)
+    run = run_signal.value
+    assert run is not None
+    assert run.outputs["scenario"] == "compaction"
+
+    widget.select_scenario("baseline")
+    second = widget.run(duration_hours=72)
+    evop.run_for(120.0)
+    assert second.value is not None
+    assert len(widget.runs) == 2
+    # compaction floods harder than baseline
+    table = widget.summary_table()
+    assert table[0]["peak_mm_h"] > table[1]["peak_mm_h"]
+    chart = widget.comparison_chart()
+    assert len(chart.series) == 2
+    assert "flood threshold" in chart.annotations
+    evop.rb.disconnect(widget.session)
+
+
+def test_modelling_widget_slider_bounds(evop):
+    widget = evop.left().open_modelling_widget("bounds-tester")
+    evop.run_for(10.0)
+    widget.load()
+    evop.run_for(10.0)
+    with pytest.raises(ValueError):
+        widget.set_slider("m", 9999.0)
+    with pytest.raises(KeyError):
+        widget.set_slider("nonexistent", 1.0)
+    with pytest.raises(ValueError):
+        widget.select_scenario("marsification")
+    assert "cloud" in widget.help_text()
+    evop.rb.disconnect(widget.session)
+
+
+def test_scripted_user_journey_completes(evop):
+    journey = UserJourney(evop.sim, evop.left(), "journey-user",
+                          scenario="storage_ponds")
+    done = journey.start()
+    evop.run_for(600.0)
+    log = done.value
+    assert log is not None and log.completed
+    names = [s.name for s in log.steps]
+    assert names == ["landing_map", "sensor_widget", "open_modelling_widget",
+                     "baseline_run", "scenario_run", "compare"]
+    assert log.step("landing_map").detail["markers"] == 6
+    assert log.step("scenario_run").detail["peak"] < \
+        log.step("baseline_run").detail["peak"]
+    assert log.total_duration() > 0

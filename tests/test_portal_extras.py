@@ -1,0 +1,160 @@
+"""Tests for the webcam widget, run history, and uncertainty bands."""
+
+import pytest
+
+from repro.cloud import BlobStore
+from repro.core import Evop, EvopConfig
+from repro.data import WebcamArchive
+from repro.portal import ChartSpec, RunHistoryStore, Series, WebcamWidget
+from repro.portal.widgets import ModelRun
+from repro.hydrology import TimeSeries
+from repro.sim import Simulator
+
+
+# -- webcam widget ----------------------------------------------------------------
+
+
+@pytest.fixture()
+def camera():
+    sim = Simulator()
+    cam = WebcamArchive(sim, "cam-1", 54.6, -2.6, "morland")
+    cam.start_capture(interval=1800.0, until=24 * 3600.0,
+                      tagger=lambda t: {"stage_m": t / (24 * 3600.0)})
+    sim.run(until=25 * 3600.0)
+    return cam
+
+
+def test_webcam_widget_latest_and_at(camera):
+    widget = WebcamWidget(camera)
+    latest = widget.latest_frame()
+    assert latest is not None
+    assert latest.time == 24 * 3600.0
+    nearest = widget.frame_at(3 * 3600.0 + 100.0)
+    assert nearest.time == 3 * 3600.0
+
+
+def test_webcam_widget_empty_archive():
+    sim = Simulator()
+    widget = WebcamWidget(WebcamArchive(sim, "cam-x", 0, 0))
+    assert widget.latest_frame() is None
+    assert widget.frame_at(0.0) is None
+    assert widget.filmstrip(0, 100) == []
+
+
+def test_webcam_filmstrip_thins_evenly(camera):
+    widget = WebcamWidget(camera)
+    strip = widget.filmstrip(0.0, 24 * 3600.0, max_frames=8)
+    assert len(strip) == 8
+    times = [f.time for f in strip]
+    assert times == sorted(times)
+    # short windows return everything
+    short = widget.filmstrip(0.0, 4 * 3600.0, max_frames=12)
+    assert len(short) == 8  # 8 half-hourly frames in 4h
+
+
+def test_webcam_stage_series(camera):
+    widget = WebcamWidget(camera)
+    points = widget.stage_series(0.0, 24 * 3600.0)
+    assert len(points) == 48
+    stages = [s for _t, s in points]
+    assert stages == sorted(stages)  # rising tag in the fixture
+
+
+# -- run history -------------------------------------------------------------------
+
+
+def make_run(scenario, peak, t=0.0):
+    return ModelRun(
+        scenario=scenario,
+        inputs={"scenario": scenario},
+        outputs={"peak_mm_h": peak, "dt_seconds": 3600.0,
+                 "hydrograph_mm_h": [0.0, peak, 0.0],
+                 "peak_time_hours": 1.0, "volume_mm": peak,
+                 "threshold_exceeded": peak > 2.0},
+        requested_at=t, completed_at=t + 5.0,
+    )
+
+
+def test_history_roundtrip_and_order():
+    store = RunHistoryStore(BlobStore(Simulator()))
+    store.save("jo", make_run("baseline", 1.5, t=0.0))
+    store.save("jo", make_run("compaction", 5.0, t=100.0))
+    assert len(store.list_keys("jo")) == 2
+    runs = store.load_all("jo")
+    assert [r.scenario for r in runs] == ["baseline", "compaction"]
+    assert store.latest("jo").scenario == "compaction"
+    restored = runs[1]
+    assert restored.outputs["peak_mm_h"] == 5.0
+    assert restored.round_trip == pytest.approx(5.0)
+
+
+def test_history_is_per_user():
+    store = RunHistoryStore(BlobStore(Simulator()))
+    store.save("jo", make_run("baseline", 1.0))
+    store.save("sam", make_run("compaction", 4.0))
+    assert len(store.load_all("jo")) == 1
+    assert store.latest("jo").scenario == "baseline"
+    assert store.clear("jo") == 1
+    assert store.latest("jo") is None
+    assert store.latest("sam") is not None
+
+
+def test_history_merges_into_widget_comparison():
+    """A returning user sees last season's run beside today's."""
+    evop = Evop(EvopConfig(truth_days=3, storm_day=1, seed=41)).bootstrap()
+    evop.run_for(400.0)
+    store = RunHistoryStore(evop.storage)
+    store.save("farmer-jo", make_run("baseline", 1.9, t=0.0))
+
+    widget = evop.left().open_modelling_widget("farmer-jo")
+    evop.run_for(10.0)
+    widget.load()
+    evop.run_for(10.0)
+    widget.select_scenario("storage_ponds")
+    widget.run(duration_hours=48)
+    evop.run_for(120.0)
+    assert len(widget.runs) == 1
+
+    added = store.merge_into_widget("farmer-jo", widget)
+    assert added == 1
+    chart = widget.comparison_chart()
+    labels = [s.label for s in chart.series if s.kind == "line"]
+    assert labels == ["baseline", "storage_ponds"]  # history first
+
+
+# -- uncertainty bands ----------------------------------------------------------------
+
+
+def test_chart_band_pairs():
+    spec = ChartSpec(title="bands")
+    lower = TimeSeries(0, 3600, [0.5, 0.6, 0.7], units="mm/h", name="p10")
+    upper = TimeSeries(0, 3600, [1.5, 1.6, 1.7], units="mm/h", name="p90")
+    spec.add_band(lower, upper, label="spread")
+    bands = spec.bands()
+    assert len(bands) == 1
+    low_series, high_series = bands[0]
+    assert low_series.label == "spread:lower"
+    assert all(low <= high for (_t1, low), (_t2, high)
+               in zip(low_series.points, high_series.points))
+
+
+def test_fuse_widget_chart_includes_uncertainty_band():
+    evop = Evop(EvopConfig(truth_days=3, storm_day=1, seed=43)).bootstrap()
+    evop.run_for(400.0)
+    widget = evop.left().open_modelling_widget("band-user", model="fuse")
+    evop.run_for(10.0)
+    widget.load()
+    evop.run_for(10.0)
+    signal = widget.run(duration_hours=72)
+    evop.run_for(200.0)
+    assert signal.value is not None
+    chart = widget.hydrograph_chart()
+    assert chart.bands(), "FUSE output must carry its structure spread"
+    # TOPMODEL output carries no band
+    top = evop.left().open_modelling_widget("band-user-2")
+    evop.run_for(10.0)
+    top.load()
+    evop.run_for(10.0)
+    top.run(duration_hours=48)
+    evop.run_for(120.0)
+    assert not top.hydrograph_chart().bands()

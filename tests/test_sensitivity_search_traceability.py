@@ -1,0 +1,188 @@
+"""Tests for sensitivity analysis, catalogue search, and requirement
+traceability."""
+
+import random
+
+import pytest
+
+from repro.core import Evop, EvopConfig
+from repro.data import (
+    AssetCatalog,
+    AssetOrigin,
+    CatalogSearch,
+    DesignStorm,
+    STUDY_CATCHMENTS,
+)
+from repro.engagement import verify_left_requirements
+from repro.engagement.storyboard import left_flooding_storyboard
+from repro.hydrology import (
+    MonteCarloCalibrator,
+    TopmodelParameters,
+    one_at_a_time,
+    rank_oat,
+    regional_sensitivity,
+)
+from repro.sim import RandomStreams
+
+
+# -- OAT sensitivity -------------------------------------------------------------
+
+
+def make_metric():
+    morland = STUDY_CATCHMENTS["morland"]
+    model = morland.topmodel()
+    rain = morland.weather_generator(RandomStreams(3)).rainfall_with_storm(
+        96, DesignStorm(24, 8, 60.0), start_day_of_year=330)
+
+    def peak_of(params):
+        p = TopmodelParameters(q0_mm_h=0.3).with_updates(
+            m=params["m"], td=params["td"])
+        return model.run(rain, parameters=p).flow.maximum()
+
+    return peak_of
+
+
+def test_oat_curves_and_ranking():
+    metric = make_metric()
+    curves = one_at_a_time(
+        metric,
+        ranges={"m": (5.0, 60.0), "td": (0.1, 5.0)},
+        reference={"m": 15.0, "td": 0.5},
+        points=5)
+    assert set(curves) == {"m", "td"}
+    for curve in curves.values():
+        assert len(curve.points) == 5
+        assert curve.metric_range() >= 0
+    ranking = rank_oat(curves)
+    # m (transmissivity decay) dominates the peak response in TOPMODEL
+    assert ranking[0][0] == "m"
+    assert ranking[0][1] > ranking[1][1]
+    # the m-curve is monotone decreasing: bigger m, flatter response
+    m_values = [v for _p, v in curves["m"].points]
+    assert m_values[0] > m_values[-1]
+
+
+def test_oat_validation():
+    metric = make_metric()
+    with pytest.raises(ValueError):
+        one_at_a_time(metric, {"m": (5.0, 60.0)}, {"m": 15.0}, points=1)
+    with pytest.raises(ValueError):
+        one_at_a_time(metric, {"m": (5.0, 60.0)}, {}, points=3)
+
+
+# -- regional sensitivity ----------------------------------------------------------
+
+
+def test_rsa_separates_identifiable_parameter():
+    rng = random.Random(5)
+
+    # toy model: the metric depends strongly on 'a', not at all on 'b'
+    def simulate(params):
+        return [params["a"] * t for t in range(10)]
+
+    observed = [2.0 * t for t in range(10)]
+    calibrator = MonteCarloCalibrator(
+        ranges={"a": (0.0, 5.0), "b": (0.0, 5.0)},
+        simulate=simulate, rng=rng)
+    calibration = calibrator.calibrate(observed, iterations=300,
+                                       behavioural_threshold=0.8)
+    results = regional_sensitivity(calibration)
+    assert results["a"].ks_distance > 0.5
+    assert results["a"].identifiable
+    assert results["b"].ks_distance < 0.25
+    assert results["a"].behavioural_count == len(calibration.behavioural)
+
+
+def test_rsa_requires_both_populations():
+    def simulate(params):
+        return [params["a"] * t for t in range(5)]
+
+    calibrator = MonteCarloCalibrator(ranges={"a": (1.9, 2.1)},
+                                      simulate=simulate,
+                                      rng=random.Random(1))
+    calibration = calibrator.calibrate([2.0 * t for t in range(5)],
+                                       iterations=20,
+                                       behavioural_threshold=-100.0)
+    with pytest.raises(ValueError):
+        regional_sensitivity(calibration)  # everything is behavioural
+
+
+# -- catalogue search ---------------------------------------------------------------
+
+
+def build_catalog():
+    catalog = AssetCatalog()
+    catalog.add("morland rain gauge", "sensor-feed", AssetOrigin.IN_SITU,
+                54.6, -2.6, catchment="morland",
+                metadata={"observedProperty": "rainfall"})
+    catalog.add("morland webcam", "webcam", AssetOrigin.IN_SITU,
+                54.6, -2.6, catchment="morland")
+    catalog.add("tarland rain gauge", "sensor-feed", AssetOrigin.IN_SITU,
+                57.1, -2.9, catchment="tarland",
+                metadata={"observedProperty": "rainfall"})
+    catalog.add("met office rainfall 1km grid", "dataset",
+                AssetOrigin.EXTERNAL, 54.0, -2.0,
+                metadata={"provider": "met office"})
+    return catalog
+
+
+def test_search_ranks_name_matches_first():
+    search = CatalogSearch(build_catalog())
+    hits = search.search("morland rain")
+    assert hits
+    assert hits[0].asset.name == "morland rain gauge"
+    assert set(hits[0].matched_terms) == {"morland", "rain"}
+    # the tarland gauge matches 'rain' only: ranked below
+    names = [h.asset.name for h in hits]
+    assert names.index("morland rain gauge") < names.index("tarland rain gauge")
+
+
+def test_search_facets_and_filters():
+    search = CatalogSearch(build_catalog())
+    facets = search.facets("rainfall")
+    assert facets["kind"]["sensor-feed"] == 2
+    assert facets["kind"]["dataset"] == 1
+    filtered = search.search("rainfall", kind="dataset")
+    assert len(filtered) == 1
+    assert filtered[0].asset.origin == AssetOrigin.EXTERNAL
+    by_catchment = search.search("rain", catchment="tarland")
+    assert all(h.asset.catchment == "tarland" for h in by_catchment)
+
+
+def test_search_empty_query_and_refresh():
+    catalog = build_catalog()
+    search = CatalogSearch(catalog)
+    assert search.search("") == []
+    assert search.search("zzzunknown") == []
+    catalog.add("new eden dataset", "dataset", AssetOrigin.WAREHOUSED,
+                54.66, -2.75, catchment="eden")
+    assert not search.search("eden")       # not indexed yet
+    assert search.refresh() == 5
+    assert search.search("eden")
+
+
+# -- traceability ---------------------------------------------------------------------
+
+
+def test_left_requirements_all_verified_against_live_system():
+    evop = Evop(EvopConfig(truth_days=4, storm_day=2, seed=2)).bootstrap()
+    evop.left().start_feeds(until=evop.sim.now + 6 * 3600.0)
+    evop.run_for(4 * 3600.0)
+
+    storyboard = left_flooding_storyboard()
+    assert storyboard.coverage() == 0.0
+    results = verify_left_requirements(evop, storyboard)
+    assert all(results.values()), results
+    assert storyboard.coverage() == 1.0
+    assert storyboard.unsatisfied() == []
+
+
+def test_unknown_requirement_fails_verification():
+    from repro.engagement.storyboard import Storyboard
+    evop = Evop(EvopConfig(truth_days=2, storm_day=1, seed=2)).bootstrap()
+    evop.run_for(300.0)
+    storyboard = Storyboard("custom", "owner", "purpose")
+    storyboard.capture_requirement("teleport users to the catchment")
+    results = verify_left_requirements(evop, storyboard)
+    assert results == {"teleport users to the catchment": False}
+    assert storyboard.coverage() == 0.0

@@ -1,0 +1,218 @@
+"""Unit tests for the transport layer and the REST engine."""
+
+import pytest
+
+from repro.cloud import Flavor, ImageKind, Instance, MachineImage, MEDIUM
+from repro.services import (
+    ConnectionRefused,
+    HttpRequest,
+    Network,
+    RequestTimeout,
+    RestApi,
+    RestServer,
+)
+from repro.services.rest import RestBackground, RestDeferred
+from repro.cloud.instance import Job
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def network(sim):
+    return Network(sim)
+
+
+def make_instance(sim, instance_id="os-0000", vcpus=2):
+    image = MachineImage(image_id="img-0", name="svc", kind=ImageKind.GENERIC)
+    flavor = Flavor("f", vcpus, 2048, 20)
+    inst = Instance(sim, instance_id, "openstack", image, flavor)
+    inst._mark_running()
+    return inst
+
+
+def make_catalog_server(sim, network, instance):
+    api = RestApi("catalog")
+    api.get("/datasets", lambda req, p: {"datasets": ["eden-rain"]})
+    api.get("/datasets/{dataset_id}",
+            lambda req, p: {"id": p["dataset_id"], "source": "in-situ"})
+    api.post("/datasets", lambda req, p: (201, {"created": req.body["name"]}))
+    return RestServer(sim, api, instance).bind(network)
+
+
+def request(sim, network, address, req, timeout=30.0):
+    reply = network.request(address, req, timeout=timeout)
+    sim.run()
+    return reply.value
+
+
+def test_basic_get_roundtrip(sim, network):
+    instance = make_instance(sim)
+    make_catalog_server(sim, network, instance)
+    response = request(sim, network, instance.address,
+                       HttpRequest("GET", "/datasets"))
+    assert response.ok
+    assert response.body == {"datasets": ["eden-rain"]}
+    assert sim.now > 0  # network latency + handler cost elapsed
+
+
+def test_path_params_are_extracted(sim, network):
+    instance = make_instance(sim)
+    make_catalog_server(sim, network, instance)
+    response = request(sim, network, instance.address,
+                       HttpRequest("GET", "/datasets/eden-rain"))
+    assert response.body["id"] == "eden-rain"
+
+
+def test_post_returns_custom_status(sim, network):
+    instance = make_instance(sim)
+    make_catalog_server(sim, network, instance)
+    response = request(sim, network, instance.address,
+                       HttpRequest("POST", "/datasets", body={"name": "new"}))
+    assert response.status == 201
+    assert response.body == {"created": "new"}
+
+
+def test_unknown_route_is_404(sim, network):
+    instance = make_instance(sim)
+    make_catalog_server(sim, network, instance)
+    response = request(sim, network, instance.address,
+                       HttpRequest("GET", "/nope"))
+    assert response.status == 404
+
+
+def test_unregistered_address_refused(sim, network):
+    result = request(sim, network, "ghost.openstack.evop",
+                     HttpRequest("GET", "/datasets"))
+    assert isinstance(result, ConnectionRefused)
+
+
+def test_dead_instance_refuses_connections(sim, network):
+    instance = make_instance(sim)
+    make_catalog_server(sim, network, instance)
+    instance._mark_failed("crash")
+    result = request(sim, network, instance.address,
+                     HttpRequest("GET", "/datasets"))
+    assert isinstance(result, ConnectionRefused)
+
+
+def test_blackholed_instance_times_out(sim, network):
+    instance = make_instance(sim)
+    make_catalog_server(sim, network, instance)
+    instance._blackhole()
+    result = request(sim, network, instance.address,
+                     HttpRequest("GET", "/datasets"), timeout=5.0)
+    assert isinstance(result, RequestTimeout)
+    assert result.after_seconds == 5.0
+    # the request *was* received: inbound counted, nothing transmitted
+    # (not even the transport-level ack - the transmit path is dead)
+    assert instance.net_bytes_in > 0
+    assert instance.net_bytes_out == 0
+
+
+def test_instance_dying_mid_request_times_out(sim, network):
+    instance = make_instance(sim, vcpus=1)
+    api = RestApi("slow")
+    api.get("/slow", lambda req, p: {"ok": True}, cost=10.0)
+    RestServer(sim, api, instance).bind(network)
+    reply = network.request(instance.address, HttpRequest("GET", "/slow"),
+                            timeout=20.0)
+    sim.schedule(2.0, instance._mark_failed, "crash")
+    sim.run()
+    assert isinstance(reply.value, RequestTimeout)
+
+
+def test_handler_exception_becomes_500(sim, network):
+    instance = make_instance(sim)
+    api = RestApi("bad")
+
+    def explode(req, p):
+        raise RuntimeError("kaboom")
+
+    api.get("/bad", explode)
+    RestServer(sim, api, instance).bind(network)
+    response = request(sim, network, instance.address,
+                       HttpRequest("GET", "/bad"))
+    assert response.status == 500
+    assert "kaboom" in str(response.body)
+
+
+def test_byte_accounting_on_instance(sim, network):
+    instance = make_instance(sim)
+    make_catalog_server(sim, network, instance)
+    request(sim, network, instance.address, HttpRequest("GET", "/datasets"))
+    assert instance.net_bytes_in > 0
+    assert instance.net_bytes_out > 0
+    assert network.total_bytes >= instance.net_bytes_in + instance.net_bytes_out
+
+
+def test_requests_queue_on_busy_instance(sim, network):
+    instance = make_instance(sim, vcpus=1)
+    api = RestApi("model")
+    api.get("/run", lambda req, p: {"ok": True}, cost=5.0)
+    RestServer(sim, api, instance).bind(network)
+    first = network.request(instance.address, HttpRequest("GET", "/run"),
+                            timeout=60)
+    second = network.request(instance.address, HttpRequest("GET", "/run"),
+                             timeout=60)
+    sim.run()
+    assert first.value.ok and second.value.ok
+
+
+def test_rest_deferred_runs_job_then_renders(sim, network):
+    instance = make_instance(sim)
+    api = RestApi("wps-ish")
+
+    def execute(req, p):
+        job = Job(cost=8.0, compute=lambda: {"peak": 3.2})
+        return RestDeferred(job=job, render=lambda out: (200, {"outputs": out}))
+
+    api.post("/execute", execute)
+    RestServer(sim, api, instance).bind(network)
+    response = request(sim, network, instance.address,
+                       HttpRequest("POST", "/execute"))
+    assert response.ok
+    assert response.body["outputs"] == {"peak": 3.2}
+    assert sim.now >= 8.0 / instance.effective_speed
+
+
+def test_rest_background_answers_before_job_finishes(sim, network):
+    instance = make_instance(sim)
+    api = RestApi("async")
+    finished = []
+
+    def execute(req, p):
+        job = Job(cost=50.0, compute=lambda: finished.append(True))
+        return RestBackground(job=job, status=202, body={"accepted": True})
+
+    api.post("/execute", execute)
+    RestServer(sim, api, instance).bind(network)
+    reply = network.request(instance.address, HttpRequest("POST", "/execute"),
+                            timeout=120)
+    sim.run(until=5.0)
+    assert reply.value.status == 202
+    assert not finished
+    sim.run()
+    assert finished == [True]
+
+
+def test_stateless_replicas_answer_identically(sim, network):
+    api = RestApi("catalog")
+    api.get("/datasets", lambda req, p: {"datasets": ["eden-rain"]})
+    a = make_instance(sim, "os-0001")
+    b = make_instance(sim, "os-0002")
+    RestServer(sim, api, a).bind(network)
+    RestServer(sim, api, b).bind(network)
+    first = request(sim, network, a.address, HttpRequest("GET", "/datasets"))
+    second = request(sim, network, b.address, HttpRequest("GET", "/datasets"))
+    assert first.body == second.body
+
+
+def test_route_pattern_does_not_match_deeper_paths():
+    api = RestApi("x")
+    api.get("/datasets/{dataset_id}", lambda req, p: p)
+    route, params = api.resolve(HttpRequest("GET", "/datasets/a/b"))
+    assert route is None

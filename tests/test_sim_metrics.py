@@ -1,0 +1,111 @@
+"""Unit tests for counters, gauges and recorders."""
+
+import pytest
+
+from repro.sim import MetricsRegistry, Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def registry(sim):
+    return MetricsRegistry(sim, namespace="test")
+
+
+def test_counter_increments_and_rejects_decrease(registry):
+    counter = registry.counter("requests")
+    counter.increment()
+    counter.increment(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.increment(-1)
+
+
+def test_counter_is_memoised_by_name(registry):
+    assert registry.counter("x") is registry.counter("x")
+
+
+def test_gauge_time_weighted_mean(sim, registry):
+    gauge = registry.gauge("instances")
+    sim.schedule(0.0, gauge.set, 2)
+    sim.schedule(10.0, gauge.set, 4)
+    sim.run(until=20.0)
+    # 2 for 10s then 4 for 10s -> mean 3
+    assert gauge.time_weighted_mean() == pytest.approx(3.0)
+    assert gauge.value == 4
+    assert gauge.peak == 4
+
+
+def test_gauge_add_adjusts_relative(sim, registry):
+    gauge = registry.gauge("pool", initial=5)
+    gauge.add(-2)
+    assert gauge.value == 3
+    gauge.add(10)
+    assert gauge.peak == 13
+
+
+def test_gauge_mean_before_any_time_passes(sim, registry):
+    gauge = registry.gauge("idle", initial=7)
+    assert gauge.time_weighted_mean() == 7
+
+
+def test_recorder_statistics(sim, registry):
+    rec = registry.recorder("latency")
+    for value in (10, 20, 30, 40, 50):
+        rec.record(value)
+    assert rec.mean() == 30
+    assert rec.percentile(0) == 10
+    assert rec.percentile(100) == 50
+    assert rec.percentile(50) == 30
+    assert rec.percentile(25) == 20
+    assert rec.maximum() == 50
+    assert rec.count == 5
+
+
+def test_recorder_percentile_interpolates(registry):
+    rec = registry.recorder("lat")
+    rec.record(0)
+    rec.record(100)
+    assert rec.percentile(25) == pytest.approx(25.0)
+
+
+def test_recorder_empty_is_zero(registry):
+    rec = registry.recorder("empty")
+    assert rec.mean() == 0.0
+    assert rec.percentile(95) == 0.0
+    assert rec.maximum() == 0.0
+
+
+def test_recorder_out_of_range_percentile(registry):
+    rec = registry.recorder("lat")
+    with pytest.raises(ValueError):
+        rec.percentile(101)
+
+
+def test_recorder_window_filters_by_time(sim, registry):
+    rec = registry.recorder("lat")
+    sim.schedule(1.0, rec.record, 1)
+    sim.schedule(5.0, rec.record, 2)
+    sim.schedule(9.0, rec.record, 3)
+    sim.run()
+    assert rec.window(0, 6) == [1, 2]
+    assert rec.window(5, 10) == [2, 3]
+
+
+def test_snapshot_includes_all_metric_kinds(sim, registry):
+    registry.counter("hits").increment(3)
+    registry.gauge("load").set(1.5)
+    registry.recorder("lat").record(42)
+    snap = registry.snapshot()
+    assert snap["hits"] == 3
+    assert snap["load"] == 1.5
+    assert snap["lat.mean"] == 42
+    assert snap["lat.count"] == 1
+
+
+def test_sub_registry_namespacing(sim, registry):
+    child = registry.sub("lb")
+    assert child.counter("evictions").name == "test.lb.evictions"

@@ -1,0 +1,46 @@
+"""Unit tests for named random streams."""
+
+from repro.sim import RandomStreams
+
+
+def test_same_name_returns_same_stream():
+    streams = RandomStreams(seed=1)
+    assert streams.get("a") is streams.get("a")
+
+
+def test_streams_are_deterministic_across_instances():
+    first = [RandomStreams(seed=7).get("weather").random() for _ in range(3)]
+    second = [RandomStreams(seed=7).get("weather").random() for _ in range(3)]
+    assert first == second
+
+
+def test_different_names_give_independent_draws():
+    streams = RandomStreams(seed=7)
+    a = [streams.get("a").random() for _ in range(5)]
+    b = [streams.get("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(seed=1).get("x").random()
+    b = RandomStreams(seed=2).get("x").random()
+    assert a != b
+
+
+def test_adding_consumer_does_not_perturb_existing_stream():
+    solo = RandomStreams(seed=3)
+    solo_draws = [solo.get("stable").random() for _ in range(4)]
+
+    busy = RandomStreams(seed=3)
+    busy.get("newcomer").random()  # extra consumer created first
+    busy_draws = [busy.get("stable").random() for _ in range(4)]
+    assert solo_draws == busy_draws
+
+
+def test_fork_is_deterministic_and_distinct():
+    root = RandomStreams(seed=5)
+    fork_a = root.fork("eden")
+    fork_b = root.fork("eden")
+    assert fork_a.seed == fork_b.seed
+    assert fork_a.seed != root.seed
+    assert root.fork("tarland").seed != fork_a.seed
