@@ -15,8 +15,9 @@ has the best QoS at the highest cost; the hybrid tracks public-level QoS
 at markedly lower cost, bursting exactly once and reversing afterwards.
 """
 
-from benchmarks.harness import once, print_table
+from benchmarks.harness import once, print_table, trace_summary
 from repro.core import Evop, EvopConfig
+from repro.obs import obs_of
 
 
 def drive_crowd(policy: str):
@@ -72,7 +73,10 @@ def drive_crowd(policy: str):
 
     ordered = sorted(round_trips)
     p95 = ordered[int(0.95 * (len(ordered) - 1))] if ordered else float("inf")
+    tracer = obs_of(evop.sim).tracer
+    tracer.finish_open_spans()
     return {
+        "spans": list(tracer.spans()),
         "completed": len(round_trips),
         "failed": len(failures),
         "mean_rt": sum(round_trips) / len(round_trips) if round_trips else 0,
@@ -106,6 +110,14 @@ def test_cloudburst_flash_crowd(benchmark):
     hybrid = results["private-first"]
     private = results["private-only"]
     public = results["public-only"]
+
+    # where the crowd's time went under the hybrid policy, from the
+    # distributed traces the portal sessions carried through the stack
+    summary = trace_summary(
+        hybrid["spans"],
+        "Hybrid policy - per-span latency from distributed traces")
+    assert any(name.startswith("job ") for name in summary)
+    assert any(name.startswith("rest ") for name in summary)
 
     # elasticity serves everyone; the quota-bound private pool does not
     assert hybrid["failed"] == 0 and public["failed"] == 0

@@ -14,8 +14,9 @@ baseline is the same crash with no LB watching: sessions point at a dead
 address forever.
 """
 
-from benchmarks.harness import once, print_table
+from benchmarks.harness import once, print_table, trace_summary
 from repro.core import Evop, EvopConfig
+from repro.obs import obs_of
 
 
 def run_fault(kind: str, monitored: bool = True):
@@ -87,7 +88,10 @@ def run_fault(kind: str, monitored: bool = True):
                  if e["event"] == "replica.ready" and e["t"] > inject_time]
         if ready:
             recovery_latency = ready[0]["t"] - inject_time
+    tracer = obs_of(evop.sim).tracer
+    tracer.finish_open_spans()
     return {
+        "spans": list(tracer.spans()),
         "detected": bool(detected),
         "detection_latency": detection_latency,
         "recovery_latency": recovery_latency,
@@ -141,3 +145,11 @@ def test_failover_all_fault_kinds(benchmark):
     baseline = results["crash (no LB)"]
     assert not baseline["detected"]
     assert baseline["sessions_rescued"] == 0
+
+    # the broker traced every session through placement; the crash run's
+    # spans show where session time went
+    summary = trace_summary(
+        results["crash"]["spans"],
+        "Crash run - per-span latency from distributed traces")
+    assert any(name.startswith("rb.session") for name in summary)
+    assert "lb.place" in summary

@@ -10,7 +10,9 @@ fall.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.obs.export import summarize_spans
 
 
 def print_table(title: str, headers: Sequence[str],
@@ -45,3 +47,25 @@ def _fmt(cell) -> str:
 def once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def trace_summary(source, title: str = "trace summary",
+                  min_count: int = 1) -> Dict[str, Dict[str, float]]:
+    """Print per-span-name p50/p95/p99 (simulated seconds) and return it.
+
+    ``source`` is a :class:`~repro.obs.tracer.Tracer` or any iterable of
+    spans.  Span names seen fewer than ``min_count`` times are kept in
+    the returned summary but left out of the printed table.
+    """
+    spans = source.spans() if hasattr(source, "spans") else list(source)
+    summary = summarize_spans(spans)
+    rows = [
+        [name, stats["count"], stats["errors"], stats["p50"],
+         stats["p95"], stats["p99"]]
+        for name, stats in summary.items()
+        if stats["count"] >= min_count
+    ]
+    print_table(title,
+                ["span", "count", "errors", "p50 s", "p95 s", "p99 s"],
+                rows)
+    return summary

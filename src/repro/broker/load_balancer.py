@@ -28,6 +28,8 @@ from repro.broker.sessions import SessionTable, UserSession
 from repro.cloud.errors import CloudError
 from repro.cloud.instance import Instance
 from repro.cloud.multicloud import MultiCloud, NodeTemplate
+from repro.obs.hub import obs_of
+from repro.obs.tracer import Span
 from repro.services.registry import ServiceRecord, ServiceRegistry
 from repro.services.transport import Network
 from repro.sim import MetricsRegistry, Signal, Simulator
@@ -61,6 +63,7 @@ class LoadBalancer:
         self.events: List[Dict] = []
         self._services: Dict[str, ManagedService] = {}
         self._waiting: Dict[str, Deque[UserSession]] = {}
+        self._place_spans: Dict[str, Span] = {}  # session_id -> open span
         self._replacing: set = set()
         self._autoscaler_running = False
         self.cloudbursting = False
@@ -108,14 +111,39 @@ class LoadBalancer:
         bench reports.
         """
         service = self._services[service_name]
+        span: Optional[Span] = None
+        if session.trace_context is not None:
+            span = obs_of(self.sim).tracer.start_span(
+                "lb.place", parent=session.trace_context, kind="placement",
+                attributes={"service": service_name,
+                            "session": session.session_id})
         replica = service.least_loaded()
         if replica is not None:
             session.assign(replica)
             self.metrics.recorder("session.wait").record(session.wait_time or 0.0)
+            if span is not None:
+                span.set_attribute("instance", replica.instance_id)
+                span.finish()
         else:
+            # the placement span stays open across the queue wait; it
+            # closes when a booted replica drains this session
+            if span is not None:
+                span.annotate("queued", waiting=len(self._waiting[service_name]))
+                self._place_spans[session.session_id] = span
             self._waiting[service_name].append(session)
             if service.projected_size() == 0:
                 self.scale_up(service)
+
+    def _finish_place_span(self, session: UserSession,
+                           replica: Optional[Instance]) -> None:
+        span = self._place_spans.pop(session.session_id, None)
+        if span is None:
+            return
+        if replica is not None:
+            span.set_attribute("instance", replica.instance_id)
+            span.finish()
+        else:
+            span.finish(error="session ended while waiting")
 
     def _drain_waiting(self, service: ManagedService) -> None:
         queue = self._waiting[service.name]
@@ -125,8 +153,10 @@ class LoadBalancer:
                 return
             session = queue.popleft()
             if session.state.value == "ended":
+                self._finish_place_span(session, None)
                 continue
             session.assign(replica)
+            self._finish_place_span(session, replica)
             self.metrics.recorder("session.wait").record(session.wait_time or 0.0)
 
     # -- scaling ---------------------------------------------------------------------
@@ -366,3 +396,6 @@ class LoadBalancer:
         entry = {"t": self.sim.now, "event": kind}
         entry.update(fields)
         self.events.append(entry)
+        # mirror every decision into the shared structured event log, so
+        # LB activity lines up with traces and instance lifecycle events
+        obs_of(self.sim).events.emit(f"lb.{kind}", **fields)

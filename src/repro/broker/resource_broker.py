@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.broker.load_balancer import LoadBalancer
 from repro.broker.sessions import SessionTable, UserSession
+from repro.obs.hub import obs_of
 from repro.services.channels import PushGateway
 from repro.sim import MetricsRegistry, Simulator
 
@@ -45,6 +46,16 @@ class ResourceBroker:
         if channel is None:
             channel = self.gateway.connect(user_name)
         session = self.sessions.create(user_name, channel, purpose=service_name)
+        # the session span is the root of this user's journey trace; every
+        # widget request and its server-side work nests beneath it
+        hub = obs_of(self.sim)
+        span = hub.tracer.start_span(
+            f"rb.session {service_name}", kind="session",
+            attributes={"user": user_name, "session": session.session_id})
+        session.trace_context = span.context
+        session.trace_span = span
+        hub.events.emit("rb.connect", user=user_name, service=service_name,
+                        session=session.session_id)
         self.metrics.counter("connects").increment()
         self.lb.place_session(session, service_name)
         return session
@@ -56,6 +67,8 @@ class ResourceBroker:
         is how "sensing when user sessions end" feeds load balancing.
         """
         session.end()
+        obs_of(self.sim).events.emit("rb.disconnect",
+                                     session=session.session_id)
         self.metrics.counter("disconnects").increment()
 
     def current_address(self, session: UserSession) -> Optional[str]:
@@ -86,6 +99,8 @@ class ResourceBroker:
             service.min_replicas = original_floor
 
         self.sim.schedule(warm_seconds, restore_floor)
+        obs_of(self.sim).events.emit("rb.preboot", service=service_name,
+                                     replicas=replicas)
         self.metrics.counter("preboots").increment(replicas)
 
     def prefetch(self, container: Any, keys: List[str],

@@ -44,6 +44,10 @@ class UserSession:
         self.ended_at: Optional[float] = None
         self.instance: Optional[Instance] = None
         self.migrations: List[Dict[str, Any]] = []
+        # distributed tracing: the RB opens a root span per session and
+        # parks its context here; widgets propagate it on every request
+        self.trace_context: Optional[Any] = None
+        self.trace_span: Optional[Any] = None
 
     @property
     def wait_time(self) -> Optional[float]:
@@ -97,6 +101,9 @@ class UserSession:
         self.state = SessionState.ENDED
         self.ended_at = self._sim.now
         self.instance = None
+        if self.trace_span is not None and not self.trace_span.finished:
+            self.trace_span.set_attribute("migrations", len(self.migrations))
+            self.trace_span.finish()
         self._push({"type": "session.end", "sessionId": self.session_id})
 
     def _push(self, payload: Dict[str, Any]) -> None:

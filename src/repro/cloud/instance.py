@@ -25,6 +25,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Set
 from repro.cloud.errors import InvalidStateError
 from repro.cloud.flavors import Flavor
 from repro.cloud.images import MachineImage
+from repro.obs.hub import obs_of
 from repro.sim import Signal, Simulator
 
 _job_ids = itertools.count()
@@ -69,7 +70,7 @@ class Job:
     """
 
     __slots__ = ("job_id", "name", "cost", "compute", "disk_read_mb",
-                 "disk_write_mb", "done")
+                 "disk_write_mb", "done", "trace", "span")
 
     def __init__(self, cost: float, compute: Optional[Callable[[], Any]] = None,
                  name: str = "job", disk_read_mb: float = 1.0,
@@ -83,6 +84,8 @@ class Job:
         self.disk_read_mb = disk_read_mb
         self.disk_write_mb = disk_write_mb
         self.done: Optional[Signal] = None  # attached at submission
+        self.trace = None   # optional SpanContext set by the submitter
+        self.span = None    # the execution span, opened at submission
 
 
 class Instance:
@@ -173,10 +176,17 @@ class Instance:
 
     # -- lifecycle (driven by the provider / fault injector) -----------------
 
+    def _emit(self, kind: str, **fields) -> None:
+        obs_of(self._sim).events.emit(
+            kind, instance=self.instance_id, provider=self.provider_name,
+            **fields)
+
     def _mark_running(self) -> None:
         if self.state != InstanceState.PENDING:
             return  # crashed or terminated while booting
         self.state = InstanceState.RUNNING
+        self._emit("instance.running",
+                   boot_seconds=self._sim.now - self.launched_at)
         self.ready.fire(self)
 
     def _mark_terminated(self) -> None:
@@ -184,6 +194,7 @@ class Instance:
             return
         previous = self.state
         self.state = InstanceState.TERMINATED
+        self._emit("instance.terminated", previous=previous.value)
         self._abort_all_work("instance terminated")
         if previous == InstanceState.PENDING and not self.ready.fired:
             self.ready.fire(None)
@@ -194,6 +205,7 @@ class Instance:
             return
         previous = self.state
         self.state = InstanceState.FAILED
+        self._emit("instance.failed", previous=previous.value, cause=cause)
         self._abort_all_work(cause)
         if previous == InstanceState.PENDING and not self.ready.fired:
             self.ready.fire(None)
@@ -204,6 +216,7 @@ class Instance:
             raise InvalidStateError(
                 f"cannot degrade {self.instance_id} in state {self.state}")
         self.state = InstanceState.DEGRADED
+        self._emit("instance.degraded", speed_multiplier=speed_multiplier)
         self._reschedule_running_jobs(speed_multiplier)
 
     def _blackhole(self) -> None:
@@ -211,6 +224,7 @@ class Instance:
             raise InvalidStateError(
                 f"cannot blackhole {self.instance_id} in state {self.state}")
         self.network_blackholed = True
+        self._emit("instance.blackholed")
 
     def _reschedule_running_jobs(self, new_degradation: float) -> None:
         """Stretch in-flight job completions when the speed changes."""
@@ -238,6 +252,9 @@ class Instance:
 
     def _fail_job(self, job: Job, cause: str) -> None:
         self.jobs_failed += 1
+        if job.span is not None and not job.span.finished:
+            job.span.annotate("aborted", cause=cause)
+            job.span.finish(error=cause)
         outcome = JobOutcome(job_id=job.job_id, succeeded=False, error=cause,
                              started_at=self._sim.now,
                              finished_at=self._sim.now)
@@ -254,6 +271,11 @@ class Instance:
         refused at a dead VM).
         """
         job.done = self._sim.signal(f"{job.job_id}.done")
+        if job.trace is not None:
+            job.span = obs_of(self._sim).tracer.start_span(
+                f"job {job.name}", parent=job.trace, kind="job",
+                attributes={"instance": self.instance_id,
+                            "job_id": job.job_id, "cost": job.cost})
         if not self.is_serving:
             self._fail_job(job, f"instance {self.instance_id} not serving")
             return job.done
@@ -278,6 +300,8 @@ class Instance:
         started = self._sim.now
         self._busy_since[job.job_id] = started
         duration = job.cost / self.effective_speed if job.cost > 0 else 0.0
+        if job.span is not None:
+            job.span.set_attribute("queue_wait", started - job.span.start)
 
         def finish() -> None:
             self._running_jobs.pop(job.job_id, None)
@@ -286,11 +310,13 @@ class Instance:
             self.disk_read_mb += job.disk_read_mb
             self.disk_write_mb += job.disk_write_mb
             try:
-                value = job.compute() if job.compute is not None else None
+                value = self._compute(job)
             except Exception as err:  # noqa: BLE001 - surfaced in outcome
                 self._fail_job(job, f"job raised: {err}")
             else:
                 self.jobs_completed += 1
+                if job.span is not None and not job.span.finished:
+                    job.span.finish()
                 outcome = JobOutcome(job_id=job.job_id, succeeded=True,
                                      value=value, started_at=started,
                                      finished_at=self._sim.now)
@@ -299,6 +325,20 @@ class Instance:
 
         handle = self._sim.schedule(duration, finish)
         self._running_jobs[job.job_id] = (handle, job, finish)
+
+    def _compute(self, job: Job) -> Any:
+        """Run the job's compute, scoping its span for nested tracing.
+
+        Activation lets host-instantaneous work done inside ``compute``
+        (a local workflow engine, a model run) parent any spans it
+        starts under this job's span without explicit plumbing.
+        """
+        if job.compute is None:
+            return None
+        if job.span is None:
+            return job.compute()
+        with obs_of(self._sim).tracer.activate(job.span):
+            return job.compute()
 
     def _account_cpu(self, job_id: str) -> None:
         started = self._busy_since.pop(job_id, None)

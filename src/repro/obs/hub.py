@@ -1,0 +1,41 @@
+"""The shared Observability hub, one per simulator.
+
+Subsystems never construct tracers or event logs themselves; they call
+:func:`obs_of` with the simulator they already hold, and every subsystem
+sharing that simulator shares one hub — which is exactly what lets a
+single trace id cross the broker, the network, an instance and a
+workflow engine.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import EventLog
+from repro.obs.tracer import Tracer
+from repro.sim.kernel import Simulator
+
+_HUB_ATTR = "_obs_hub"
+
+
+class Observability:
+    """A tracer plus an event log bound to one simulated clock."""
+
+    def __init__(self, sim: Simulator, max_spans: int = 100_000,
+                 max_events: int = 20_000):
+        self.sim = sim
+        self.max_events = max_events
+        self.tracer = Tracer(sim, max_spans=max_spans)
+        self.events = EventLog(sim, max_events=max_events)
+
+    def reset(self) -> None:
+        """Drop all collected spans and events (benchmark hygiene)."""
+        self.tracer.clear()
+        self.events = EventLog(self.sim, max_events=self.max_events)
+
+
+def obs_of(sim: Simulator) -> Observability:
+    """The hub attached to ``sim``, created lazily on first use."""
+    hub = getattr(sim, _HUB_ATTR, None)
+    if hub is None:
+        hub = Observability(sim)
+        setattr(sim, _HUB_ATTR, hub)
+    return hub

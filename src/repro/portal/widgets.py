@@ -26,6 +26,7 @@ from repro.broker.sessions import UserSession
 from repro.data.sensors import Sensor
 from repro.data.webcam import WebcamArchive, WebcamFrame
 from repro.hydrology.scenarios import STANDARD_SCENARIOS
+from repro.obs.context import inject_context
 from repro.hydrology.timeseries import TimeSeries
 from repro.portal.render import ChartSpec, Series
 from repro.services.sos import Observation
@@ -402,6 +403,8 @@ class ModellingWidget:
             failed = self.sim.signal("widget.no-instance")
             failed.fire(None)
             return failed
+        # carry the session's trace so server-side spans join the journey
+        inject_context(self.session.trace_context, request.headers)
         return self.network.request(address, request,
                                     timeout=self.request_timeout)
 

@@ -23,6 +23,9 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cloud.instance import Instance, Job
+from repro.obs.context import extract_context
+from repro.obs.hub import obs_of
+from repro.obs.tracer import Span
 from repro.services.transport import HttpRequest, HttpResponse, Network
 from repro.sim import Signal, Simulator
 
@@ -153,12 +156,25 @@ class RestServer:
         """Process a request; returns a signal fired with the response."""
         done = self.sim.signal(f"rest.{self.api.name}.{request.path}")
         route, params = self.api.resolve(request)
+        # traced requests get a server span covering route resolution
+        # through response emission; the job it submits continues below it
+        context = extract_context(request.headers)
+        span: Optional[Span] = None
+        if context is not None:
+            span = obs_of(self.sim).tracer.start_span(
+                f"rest {self.api.name} {request.method} "
+                f"{route.pattern if route else request.path}",
+                parent=context, kind="server",
+                attributes={"instance": self.instance.instance_id})
         if route is None:
             self._finish(done, HttpResponse(
-                status=404, body={"error": f"no route {request.method} {request.path}"}))
+                status=404, body={"error": f"no route {request.method} {request.path}"}),
+                span)
             return done
         job = Job(cost=route.cost, name=f"rest:{request.method}:{route.pattern}",
                   compute=lambda: route.handler(request, params))
+        if span is not None:
+            job.trace = span.context
         outcome_signal = self.instance.submit(job)
 
         def waiter():
@@ -167,36 +183,49 @@ class RestServer:
             if not outcome.succeeded:
                 if outcome.error == "queue full":
                     self._finish(done, HttpResponse(
-                        status=503, body={"error": "server overloaded"}))
+                        status=503, body={"error": "server overloaded"}), span)
                 elif outcome.error and outcome.error.startswith("job raised"):
-                    self._finish(done, self._error_response(outcome.error))
-                # instance died: leave unanswered; transport times the caller out
+                    self._finish(done, self._error_response(outcome.error), span)
+                elif span is not None:
+                    # instance died: the response never leaves; the caller
+                    # times out, and the server span records why
+                    span.finish(error=outcome.error or "instance lost")
                 return
             result = outcome.value
             if isinstance(result, RestDeferred):
-                deferred_signal = self.instance.submit(result.job)
+                deferred_job = result.job
+                if span is not None and deferred_job.trace is None:
+                    deferred_job.trace = span.context
+                deferred_signal = self.instance.submit(deferred_job)
 
                 def deferred_waiter():
                     deferred = yield deferred_signal
                     if not deferred.succeeded:
                         if deferred.error == "queue full":
                             self._finish(done, HttpResponse(
-                                status=503, body={"error": "server overloaded"}))
+                                status=503, body={"error": "server overloaded"}),
+                                span)
                         elif deferred.error and deferred.error.startswith("job raised"):
                             self._finish(done, HttpResponse(
-                                status=500, body={"error": deferred.error}))
+                                status=500, body={"error": deferred.error}), span)
+                        elif span is not None:
+                            span.finish(error=deferred.error or "instance lost")
                         return
                     status, body = result.render(deferred.value)
-                    self._finish(done, HttpResponse(status=status, body=body))
+                    self._finish(done, HttpResponse(status=status, body=body),
+                                 span)
 
                 self.sim.spawn(deferred_waiter(), name="rest.deferred")
             elif isinstance(result, RestBackground):
-                self.instance.submit(result.job)
+                background_job = result.job
+                if span is not None and background_job.trace is None:
+                    background_job.trace = span.context
+                self.instance.submit(background_job)
                 self._finish(done, HttpResponse(status=result.status,
-                                                body=result.body))
+                                                body=result.body), span)
             else:
                 status, body = self._coerce(result)
-                self._finish(done, HttpResponse(status=status, body=body))
+                self._finish(done, HttpResponse(status=status, body=body), span)
 
         self.sim.spawn(waiter(), name=f"rest.wait.{self.api.name}")
         return done
@@ -213,7 +242,12 @@ class RestServer:
             return result
         return 200, result
 
-    def _finish(self, done: Signal, response: HttpResponse) -> None:
+    def _finish(self, done: Signal, response: HttpResponse,
+                span: Optional[Span] = None) -> None:
+        if span is not None and not span.finished:
+            span.set_attribute("status", response.status)
+            span.finish(error=None if response.status < 500
+                        else f"http {response.status}")
         if not done.fired:
             done.fire(response)
 

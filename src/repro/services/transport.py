@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from repro.cloud.instance import Instance
+from repro.obs.context import extract_context, inject_context
+from repro.obs.hub import obs_of
 from repro.sim import RandomStreams, Signal, Simulator
 
 #: Approximate HTTP header block, bytes.
@@ -154,6 +156,33 @@ class Network:
         self.total_requests += 1
         request_bytes = request.wire_bytes() + extra_request_bytes
         self.total_bytes += request_bytes
+
+        # distributed tracing: requests carrying a traceparent get a
+        # client span; its own context rides the headers so the serving
+        # side continues the same trace.  Untraced traffic pays nothing.
+        parent_context = extract_context(request.headers)
+        if parent_context is not None:
+            span = obs_of(self.sim).tracer.start_span(
+                f"http {request.method} {request.path}",
+                parent=parent_context, kind="client",
+                attributes={"address": address, "bytes": request_bytes})
+            inject_context(span.context, request.headers)
+
+            def client_watch():
+                outcome = yield reply
+                if isinstance(outcome, HttpResponse):
+                    span.set_attribute("status", outcome.status)
+                    span.finish(error=None if outcome.status < 500
+                                else f"http {outcome.status}")
+                elif isinstance(outcome, ConnectionRefused):
+                    span.finish(error="connection refused")
+                elif isinstance(outcome, RequestTimeout):
+                    span.finish(error=f"timeout after "
+                                      f"{outcome.after_seconds:.0f}s")
+                else:
+                    span.finish(error=f"no response: {outcome!r}")
+
+            self.sim.spawn(client_watch(), name=f"net.trace.{address}")
 
         timeout_handle = self.sim.schedule(
             timeout, self._fire_once, reply,

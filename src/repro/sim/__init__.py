@@ -11,13 +11,22 @@ the benchmark harness reproducible.
 """
 
 from repro.sim.kernel import EventHandle, Interrupt, Process, Signal, Simulator
-from repro.sim.metrics import Counter, Gauge, MetricsRegistry, TimeSeriesRecorder
+from repro.sim.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeriesRecorder,
+)
 from repro.sim.rng import RandomStreams
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKETS",
     "EventHandle",
     "Gauge",
+    "Histogram",
     "Interrupt",
     "MetricsRegistry",
     "Process",

@@ -8,15 +8,21 @@ Three primitives cover everything the benches report:
   (instances running, CPU utilisation).
 * :class:`TimeSeriesRecorder` — raw ``(t, value)`` samples with percentile
   summaries (request latency, session wait).
+* :class:`Histogram` — fixed-bucket distribution for high-volume series
+  where keeping raw samples would be wasteful; percentiles are estimated
+  by linear interpolation inside the owning bucket.
 
 A :class:`MetricsRegistry` namespaces them per subsystem and renders a
-plain-dict snapshot the benchmark harness prints.
+plain-dict snapshot the benchmark harness prints.  Child registries
+created with :meth:`MetricsRegistry.sub` are folded into their parent's
+snapshot under the child namespace.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.kernel import Simulator
 
@@ -163,6 +169,98 @@ class TimeSeriesRecorder:
         return [v for t, v in self._samples if start <= t < end]
 
 
+#: Default latency-shaped bucket bounds (seconds), roughly logarithmic.
+DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+                   5.0, 10.0, 30.0, 60.0, 120.0, 300.0)
+
+
+class Histogram:
+    """A fixed-bucket histogram: O(buckets) memory at any sample volume.
+
+    ``buckets`` are the finite upper bounds, ascending; an implicit
+    overflow bucket catches everything above the last bound.  Quantile
+    estimates interpolate linearly within the owning bucket, using the
+    observed maximum to close the overflow bucket — exact enough for the
+    p50/p95/p99 tables benches print, and immune to the unbounded-memory
+    failure mode of recording raw samples on hot paths.
+    """
+
+    __slots__ = ("name", "_bounds", "_counts", "_overflow", "_count",
+                 "_sum", "_min", "_max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if not buckets:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        bounds = list(buckets)
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name!r} buckets must be "
+                             f"strictly ascending")
+        self.name = name
+        self._bounds = bounds
+        self._counts = [0] * len(bounds)
+        self._overflow = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        lo = bisect.bisect_left(self._bounds, value)
+        if lo < len(self._bounds):
+            self._counts[lo] += 1
+        else:
+            self._overflow += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        if self._count == 0:
+            return 0.0
+        return self._sum / self._count
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """(upper_bound, count) pairs; the overflow bound is ``inf``."""
+        pairs = list(zip(self._bounds, self._counts))
+        pairs.append((math.inf, self._overflow))
+        return pairs
+
+    def quantile(self, q: float) -> float:
+        """Estimate percentile ``q`` in [0, 100] from the buckets."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        if self._count == 0:
+            return 0.0
+        target = (q / 100.0) * self._count
+        cumulative = 0
+        previous_bound = self._min
+        for bound, count in self.bucket_counts():
+            lower = max(previous_bound, self._min)
+            upper = min(self._max if math.isinf(bound) else bound, self._max)
+            upper = max(upper, lower)
+            if count > 0 and cumulative + count >= target:
+                frac = (target - cumulative) / count
+                return lower + (upper - lower) * frac
+            cumulative += count
+            previous_bound = bound
+        return self._max
+
+
 class MetricsRegistry:
     """Namespace of counters, gauges and recorders for one subsystem."""
 
@@ -172,6 +270,8 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._recorders: Dict[str, TimeSeriesRecorder] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._children: Dict[str, "MetricsRegistry"] = {}
 
     def counter(self, name: str) -> Counter:
         """Get or create the counter ``name``."""
@@ -191,12 +291,21 @@ class MetricsRegistry:
             self._recorders[name] = TimeSeriesRecorder(self._qualify(name), self._sim)
         return self._recorders[name]
 
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """Get or create the fixed-bucket histogram ``name``."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(self._qualify(name), buckets)
+        return self._histograms[name]
+
     def snapshot(self) -> Dict[str, float]:
         """Flat dict of every metric's headline number.
 
         Counters report their total, gauges their current value plus
-        ``<name>.mean`` and ``<name>.peak``, recorders their mean plus
-        ``<name>.p95`` and ``<name>.count``.
+        ``<name>.mean`` and ``<name>.peak``, recorders and histograms
+        their mean plus ``<name>.p50``/``.p95``/``.p99`` and
+        ``<name>.count``.  Child registries created via :meth:`sub` are
+        merged in under their relative namespace.
         """
         out: Dict[str, float] = {}
         for name, counter in self._counters.items():
@@ -207,14 +316,34 @@ class MetricsRegistry:
             out[f"{name}.peak"] = gauge.peak
         for name, rec in self._recorders.items():
             out[f"{name}.mean"] = rec.mean()
+            out[f"{name}.p50"] = rec.percentile(50)
             out[f"{name}.p95"] = rec.percentile(95)
+            out[f"{name}.p99"] = rec.percentile(99)
             out[f"{name}.count"] = float(rec.count)
+        for name, hist in self._histograms.items():
+            out[f"{name}.mean"] = hist.mean()
+            out[f"{name}.p50"] = hist.quantile(50)
+            out[f"{name}.p95"] = hist.quantile(95)
+            out[f"{name}.p99"] = hist.quantile(99)
+            out[f"{name}.count"] = float(hist.count)
+        for relative, child in self._children.items():
+            for key, value in child.snapshot().items():
+                out[f"{relative}.{key}"] = value
         return out
 
     def _qualify(self, name: str) -> str:
         return f"{self.namespace}.{name}" if self.namespace else name
 
     def sub(self, namespace: str) -> "MetricsRegistry":
-        """A child registry sharing the simulator, nested namespace."""
-        child = MetricsRegistry(self._sim, self._qualify(namespace))
-        return child
+        """The child registry at ``namespace``, created on first use.
+
+        Children share the simulator, nest their metric names under the
+        parent namespace, and are merged into the parent's
+        :meth:`snapshot` — asking for the same namespace twice returns
+        the same child, so a subsystem handing registries to its parts
+        never silently orphans their metrics.
+        """
+        if namespace not in self._children:
+            self._children[namespace] = MetricsRegistry(
+                self._sim, self._qualify(namespace))
+        return self._children[namespace]

@@ -17,6 +17,8 @@ import json
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
+from repro.obs.context import SpanContext, inject_context
+from repro.obs.hub import obs_of
 from repro.services.transport import HttpRequest, HttpResponse, Network
 from repro.sim import Signal, Simulator
 from repro.workflow.dag import Workflow, WorkflowNode
@@ -72,17 +74,27 @@ class CloudWorkflowEngine:
         return list(self._runs)
 
     def run(self, workflow: Workflow,
-            parameters: Optional[Dict[str, Any]] = None) -> Signal:
+            parameters: Optional[Dict[str, Any]] = None,
+            parent: Optional[SpanContext] = None) -> Signal:
         """Execute ``workflow``; returns a signal fired with the record.
 
         A failed service call (refused, timeout, non-2xx) fires the
         signal with ``None`` after recording the partial provenance.
+        The run is always traced: pass ``parent`` (e.g. a session's
+        trace context) to join an existing trace, else a fresh trace is
+        started.  Stage spans propagate over the wire to the replicas
+        the service calls land on.
         """
         workflow.validate()
         params = dict(parameters or {})
         record = RunRecord(run_id=f"cwf-{next(_run_ids):05d}",
                            workflow=workflow.name, parameters=params)
         done = self.sim.signal(f"workflow.{workflow.name}")
+        tracer = obs_of(self.sim).tracer
+        run_span = tracer.start_span(
+            f"workflow.run {workflow.name}", parent=parent, kind="workflow",
+            attributes={"run_id": record.run_id})
+        record.trace_id = run_span.trace_id
 
         def runner():
             keys: Dict[str, str] = {}
@@ -91,6 +103,9 @@ class CloudWorkflowEngine:
                 key = self._cache_key(node, params, keys)
                 keys[node.node_id] = key
                 started = self.sim.now
+                stage_span = tracer.start_span(
+                    f"workflow.stage {node.node_id}", parent=run_span,
+                    kind="stage", attributes={"cache_key": key})
                 if key in self._cache:
                     output = self._cache[key]
                     cached = True
@@ -107,33 +122,40 @@ class CloudWorkflowEngine:
                                     for dep in node.depends_on}
                         address = call.address_of()
                         if address is None:
-                            self._finish(record, done, failed=True)
+                            stage_span.finish(error="no address")
+                            self._finish(record, done, run_span, failed=True)
                             return
                         inputs = call.build_inputs(params, upstream)
+                        request = HttpRequest(
+                            "POST",
+                            f"/wps/processes/{call.process_id}/execute",
+                            body={"inputs": inputs})
+                        inject_context(stage_span.context, request.headers)
                         reply = yield self.network.request(
-                            address,
-                            HttpRequest(
-                                "POST",
-                                f"/wps/processes/{call.process_id}/execute",
-                                body={"inputs": inputs}),
-                            timeout=self.request_timeout)
+                            address, request, timeout=self.request_timeout)
                         if not (isinstance(reply, HttpResponse) and reply.ok):
-                            self._finish(record, done, failed=True)
+                            stage_span.finish(error=f"service call failed: "
+                                                    f"{reply!r}")
+                            self._finish(record, done, run_span, failed=True)
                             return
                         output = reply.body["outputs"]
                     self._cache[key] = output
+                stage_span.set_attribute("cached", cached)
+                stage_span.finish()
                 outputs[node.node_id] = output
                 record.stages.append(StageRecord(
                     node_id=node.node_id, cache_key=key, cached=cached,
                     output_repr=_short_repr(output),
                     started_at=started, finished_at=self.sim.now))
             record.outputs = outputs
-            self._finish(record, done, failed=False)
+            self._finish(record, done, run_span, failed=False)
 
         self.sim.spawn(runner(), name=f"workflow.{workflow.name}")
         return done
 
-    def _finish(self, record: RunRecord, done: Signal, failed: bool) -> None:
+    def _finish(self, record: RunRecord, done: Signal, run_span,
+                failed: bool) -> None:
+        run_span.finish(error="workflow failed" if failed else None)
         self._runs.append(record)
         done.fire(None if failed else record)
 

@@ -36,13 +36,19 @@ class StageRecord:
 
 @dataclass
 class RunRecord:
-    """Provenance of one workflow run."""
+    """Provenance of one workflow run.
+
+    ``trace_id`` links the record to its distributed trace when the run
+    executed under a tracer — provenance says *what* ran, the trace says
+    *where the time went*.
+    """
 
     run_id: str
     workflow: str
     parameters: Dict[str, Any]
     stages: List[StageRecord] = field(default_factory=list)
     outputs: Dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
 
     def cache_hits(self) -> int:
         """Stages served from cache."""
@@ -61,11 +67,16 @@ class WorkflowEngine:
     time, or leave the default monotonic counter for pure library use.
     """
 
-    def __init__(self, clock=None):
+    def __init__(self, clock=None, tracer=None):
         self._cache: Dict[str, Any] = {}
         self._runs: List[RunRecord] = []
         self._counter = itertools.count()
         self._clock = clock or (lambda: float(next(self._counter)))
+        #: optional :class:`~repro.obs.tracer.Tracer`; when set, each run
+        #: produces a ``workflow.run`` span with per-stage children,
+        #: parented under whatever span is active (e.g. the instance job
+        #: whose ``compute`` invoked this engine)
+        self.tracer = tracer
 
     def run(self, workflow: Workflow,
             parameters: Optional[Dict[str, Any]] = None) -> RunRecord:
@@ -77,12 +88,23 @@ class WorkflowEngine:
             workflow=workflow.name,
             parameters=params,
         )
+        run_span = None
+        if self.tracer is not None:
+            run_span = self.tracer.start_span(
+                f"workflow.run {workflow.name}", kind="workflow",
+                attributes={"run_id": record.run_id})
+            record.trace_id = run_span.trace_id
         keys: Dict[str, str] = {}
         outputs: Dict[str, Any] = {}
         for node in workflow.topological_order():
             key = self._cache_key(node, params, keys)
             keys[node.node_id] = key
             started = self._clock()
+            stage_span = None
+            if run_span is not None:
+                stage_span = self.tracer.start_span(
+                    f"workflow.stage {node.node_id}", parent=run_span,
+                    kind="stage", attributes={"cache_key": key})
             if key in self._cache:
                 output = self._cache[key]
                 cached = True
@@ -91,6 +113,9 @@ class WorkflowEngine:
                 output = node.fn(params, upstream)
                 self._cache[key] = output
                 cached = False
+            if stage_span is not None:
+                stage_span.set_attribute("cached", cached)
+                stage_span.finish()
             outputs[node.node_id] = output
             record.stages.append(StageRecord(
                 node_id=node.node_id,
@@ -101,6 +126,9 @@ class WorkflowEngine:
                 finished_at=self._clock(),
             ))
         record.outputs = outputs
+        if run_span is not None:
+            run_span.set_attribute("cache_hits", record.cache_hits())
+            run_span.finish()
         self._runs.append(record)
         return record
 

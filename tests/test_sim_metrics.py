@@ -1,8 +1,10 @@
-"""Unit tests for counters, gauges and recorders."""
+"""Unit tests for counters, gauges, recorders and histograms."""
+
+import math
 
 import pytest
 
-from repro.sim import MetricsRegistry, Simulator
+from repro.sim import Histogram, MetricsRegistry, Simulator
 
 
 @pytest.fixture()
@@ -106,6 +108,80 @@ def test_snapshot_includes_all_metric_kinds(sim, registry):
     assert snap["lat.count"] == 1
 
 
+def test_snapshot_includes_recorder_percentiles(sim, registry):
+    rec = registry.recorder("lat")
+    for value in range(1, 101):
+        rec.record(float(value))
+    snap = registry.snapshot()
+    assert snap["lat.p50"] == pytest.approx(50.5)
+    assert snap["lat.p95"] == pytest.approx(95.05)
+    assert snap["lat.p99"] == pytest.approx(99.01)
+
+
 def test_sub_registry_namespacing(sim, registry):
     child = registry.sub("lb")
     assert child.counter("evictions").name == "test.lb.evictions"
+
+
+def test_sub_registry_memoised_and_merged_into_snapshot(sim, registry):
+    # handing the same namespace out twice must not orphan metrics
+    first = registry.sub("lb")
+    second = registry.sub("lb")
+    assert first is second
+    first.counter("evictions").increment(2)
+    second.counter("evictions").increment(3)
+    first.sub("pool").gauge("size").set(4)
+    snap = registry.snapshot()
+    assert snap["lb.evictions"] == 5
+    assert snap["lb.pool.size"] == 4
+
+
+def test_histogram_counts_mean_and_buckets():
+    hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.5, 3.0, 8.0):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.total == pytest.approx(13.0)
+    assert hist.mean() == pytest.approx(3.25)
+    assert hist.bucket_counts() == [
+        (1.0, 1), (2.0, 1), (4.0, 1), (math.inf, 1)]
+
+
+def test_histogram_quantiles_bracket_the_truth():
+    hist = Histogram("h", buckets=tuple(float(b) for b in range(1, 11)))
+    for value in range(1, 1001):
+        hist.observe(value / 100.0)  # 0.01 .. 10.00, uniform
+    assert hist.quantile(0) == pytest.approx(0.01)
+    assert hist.quantile(100) == pytest.approx(10.0)
+    assert hist.quantile(50) == pytest.approx(5.0, abs=0.5)
+    assert hist.quantile(95) == pytest.approx(9.5, abs=0.5)
+
+
+def test_histogram_overflow_uses_observed_max():
+    hist = Histogram("h", buckets=(1.0,))
+    hist.observe(100.0)
+    assert hist.quantile(99) <= 100.0
+    assert hist.quantile(100) == pytest.approx(100.0)
+
+
+def test_histogram_empty_and_validation():
+    hist = Histogram("h", buckets=(1.0, 2.0))
+    assert hist.quantile(50) == 0.0
+    assert hist.mean() == 0.0
+    with pytest.raises(ValueError):
+        Histogram("bad", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("bad", buckets=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        hist.quantile(101)
+
+
+def test_registry_histogram_in_snapshot(sim, registry):
+    hist = registry.histogram("rt", buckets=(1.0, 2.0, 4.0))
+    assert registry.histogram("rt") is hist
+    for value in (0.5, 1.5, 3.0):
+        hist.observe(value)
+    snap = registry.snapshot()
+    assert snap["rt.count"] == 3
+    assert snap["rt.mean"] == pytest.approx(5.0 / 3)
+    assert 0.0 < snap["rt.p50"] <= 2.0
