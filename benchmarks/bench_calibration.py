@@ -8,9 +8,17 @@ The bench calibrates TOPMODEL against a synthetic truth (hidden
 parameters) on each LEFT catchment and reports the best NSE, the
 behavioural population, and the GLUE bounds' coverage of the
 observations — 'adequate reproduction' made quantitative.
+
+Both analysis paths run: the pre-runner direct path and the shared
+:class:`~repro.perf.runner.EnsembleRunner` path, where calibration and
+GLUE share one :class:`~repro.perf.runcache.RunCache` so the behavioural
+re-runs are pure cache hits.  The bench asserts the two paths agree
+bit-for-bit and that GLUE re-ran nothing, and reports the wall-clock
+speedup the cache buys.
 """
 
 import random
+import time
 
 from benchmarks.harness import once, print_table
 from repro.data import DesignStorm, STUDY_CATCHMENTS
@@ -19,10 +27,12 @@ from repro.hydrology import (
     MonteCarloCalibrator,
     TopmodelParameters,
 )
+from repro.perf import EnsembleRunner, RunCache, forcing_digest
 from repro.sim import RandomStreams
 
 ITERATIONS = 200
 CATCHMENTS = ("morland", "tarland", "machynlleth")
+RANGES = {"m": (5.0, 60.0), "td": (0.1, 5.0), "q0_mm_h": (0.02, 1.0)}
 
 
 def calibrate_catchment(name: str):
@@ -40,12 +50,38 @@ def calibrate_catchment(name: str):
             m=params["m"], td=params["td"], q0_mm_h=params["q0_mm_h"])
         return model.run(rain, parameters=p).flow.values
 
-    calibrator = MonteCarloCalibrator(
-        ranges={"m": (5.0, 60.0), "td": (0.1, 5.0), "q0_mm_h": (0.02, 1.0)},
-        simulate=simulate, rng=random.Random(hash(name) % 2**31))
-    calibration = calibrator.calibrate(observed, iterations=ITERATIONS,
-                                       behavioural_threshold=0.6)
-    glue = GlueAnalysis(simulate).run(calibration, dt=3600.0)
+    # the pre-runner path: every GLUE re-run pays full model time
+    started = time.perf_counter()
+    direct = MonteCarloCalibrator(
+        ranges=RANGES, simulate=simulate,
+        rng=random.Random(hash(name) % 2**31),
+    ).calibrate(observed, iterations=ITERATIONS, behavioural_threshold=0.6)
+    direct_glue = GlueAnalysis(simulate).run(direct, dt=3600.0)
+    direct_seconds = time.perf_counter() - started
+
+    # the fast path: calibration and GLUE share one run cache
+    started = time.perf_counter()
+    runner = EnsembleRunner(
+        simulate, model_id=f"topmodel:{name}",
+        forcing=forcing_digest(rain), cache=RunCache(max_entries=2048))
+    calibration = MonteCarloCalibrator(
+        ranges=RANGES, runner=runner,
+        rng=random.Random(hash(name) % 2**31),
+    ).calibrate(observed, iterations=ITERATIONS, behavioural_threshold=0.6)
+    glue = GlueAnalysis(runner=runner).run(calibration, dt=3600.0)
+    runner_seconds = time.perf_counter() - started
+
+    # identical science on both paths, sample by sample
+    assert [s.parameters for s in calibration.samples] \
+        == [s.parameters for s in direct.samples]
+    assert [s.score for s in calibration.samples] \
+        == [s.score for s in direct.samples]
+    assert glue.lower.values == direct_glue.lower.values
+    assert glue.median.values == direct_glue.median.values
+    assert glue.upper.values == direct_glue.upper.values
+    # ...and the GLUE re-runs were all served from the calibration's cache
+    assert runner.cache.hits >= len(calibration.behavioural)
+
     return {
         "best_nse": calibration.best.score,
         "best_m": calibration.best.parameters["m"],
@@ -53,6 +89,10 @@ def calibrate_catchment(name: str):
         "acceptance": calibration.acceptance_rate(),
         "coverage": glue.coverage(observed),
         "sharpness": glue.sharpness(),
+        "direct_seconds": direct_seconds,
+        "runner_seconds": runner_seconds,
+        "speedup": direct_seconds / max(runner_seconds, 1e-9),
+        "cache": runner.stats(),
     }
 
 
@@ -68,6 +108,13 @@ def test_calibration_adequate_on_every_catchment(benchmark):
         [[name, r["best_nse"], r["best_m"], r["behavioural"],
           f"{r['acceptance']:.0%}", f"{r['coverage']:.0%}", r["sharpness"]]
          for name, r in results.items()])
+    print_table(
+        "Shared-cache fast path vs direct path (calibration + GLUE)",
+        ["catchment", "direct s", "runner s", "speedup",
+         "cache hits", "cache misses"],
+        [[name, r["direct_seconds"], r["runner_seconds"],
+          f"{r['speedup']:.2f}x", r["cache"]["hits"], r["cache"]["misses"]]
+         for name, r in results.items()])
 
     for name, r in results.items():
         # 'adequately reproduce observed discharge': strong NSE everywhere
@@ -78,3 +125,7 @@ def test_calibration_adequate_on_every_catchment(benchmark):
         assert r["behavioural"] >= 5, name
         # the GLUE bounds actually bracket the observations
         assert r["coverage"] > 0.7, name
+        # the cache did real work: every behavioural re-run was a hit and
+        # the calibration itself never computed a parameter set twice
+        assert r["cache"]["hits"] >= r["behavioural"], name
+        assert r["cache"]["misses"] <= ITERATIONS, name

@@ -10,6 +10,7 @@ choosing ``m``, ``srmax``, ``td`` and ``q0`` as the widget's sliders.
 """
 
 import random
+import time
 
 from benchmarks.harness import once, print_table
 from repro.data import DesignStorm, STUDY_CATCHMENTS
@@ -20,6 +21,7 @@ from repro.hydrology import (
     rank_oat,
     regional_sensitivity,
 )
+from repro.perf import EnsembleRunner, RunCache
 from repro.sim import RandomStreams
 
 RANGES = {
@@ -47,15 +49,35 @@ def build_metric():
 def test_oat_slider_ranking(benchmark):
     def run():
         metric, _model, _rain = build_metric()
-        curves = one_at_a_time(metric, RANGES, REFERENCE, points=7)
-        return curves, rank_oat(curves)
+        started = time.perf_counter()
+        direct = one_at_a_time(metric, RANGES, REFERENCE, points=7)
+        direct_seconds = time.perf_counter() - started
+        # the slider access pattern: the same exploration re-requested —
+        # through the shared runner the second sweep is all cache hits
+        runner = EnsembleRunner(metric, model_id="topmodel:morland:peak",
+                                cache=RunCache(max_entries=256))
+        first = one_at_a_time(metric, RANGES, REFERENCE, points=7,
+                              runner=runner)
+        started = time.perf_counter()
+        repeat = one_at_a_time(metric, RANGES, REFERENCE, points=7,
+                               runner=runner)
+        repeat_seconds = time.perf_counter() - started
+        return direct, first, repeat, runner, direct_seconds, repeat_seconds
 
-    curves, ranking = once(benchmark, run)
+    (curves, first, repeat, runner,
+     direct_seconds, repeat_seconds) = once(benchmark, run)
+    ranking = rank_oat(curves)
     print_table(
         "One-at-a-time sensitivity of the flood peak to the widget sliders",
         ["slider", "normalised sensitivity", "peak range mm/h"],
         [[name, sensitivity, curves[name].metric_range()]
          for name, sensitivity in ranking])
+    print_table(
+        "Repeated slider exploration through the run cache",
+        ["sweep", "wall s", "cache hits", "cache misses"],
+        [["direct", direct_seconds, "-", "-"],
+         ["cached repeat", repeat_seconds,
+          runner.cache.hits, runner.cache.misses]])
 
     names = [name for name, _s in ranking]
     # every slider does something; m dominates (it sets flashiness)
@@ -63,6 +85,13 @@ def test_oat_slider_ranking(benchmark):
     assert all(s > 0 for _n, s in ranking)
     # the top slider controls at least double the response of the last
     assert ranking[0][1] > 2 * ranking[-1][1]
+    # the runner path reproduces the direct sweep point for point, and
+    # the repeated exploration re-ran nothing (7 points x 4 sliders)
+    for name in curves:
+        assert first[name].points == curves[name].points
+        assert repeat[name].points == curves[name].points
+    assert runner.cache.hits >= 28
+    assert runner.cache.misses <= 28
 
 
 def test_regional_sensitivity_identifiability(benchmark):
@@ -75,10 +104,15 @@ def test_regional_sensitivity_identifiability(benchmark):
             p = TopmodelParameters().with_updates(**params)
             return model.run(rain, parameters=p).flow.values
 
+        # RSA samples through the shared runner too: a later GLUE pass on
+        # the same cache would re-run none of these 250 evaluations
+        runner = EnsembleRunner(simulate, model_id="topmodel:morland",
+                                cache=RunCache(max_entries=512))
         calibrator = MonteCarloCalibrator(
-            ranges=RANGES, simulate=simulate, rng=random.Random(8))
+            ranges=RANGES, runner=runner, rng=random.Random(8))
         calibration = calibrator.calibrate(observed, iterations=250,
                                            behavioural_threshold=0.6)
+        assert runner.cache.misses <= 250
         return regional_sensitivity(calibration), calibration
 
     results, calibration = once(benchmark, run)

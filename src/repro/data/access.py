@@ -135,6 +135,11 @@ class GuardedWarehouse:
         self._policy.check(dataset_id, self.principal)
         return self._warehouse.get_series(dataset_id)
 
+    def etag_of(self, dataset_id: str) -> str:
+        """Revalidation token, guarded like the data it validates."""
+        self._policy.check(dataset_id, self.principal)
+        return self._warehouse.etag_of(dataset_id)
+
     def put_series(self, dataset_id: str, series: TimeSeries,
                    provenance: str = "", restricted: bool = False) -> None:
         """Store a series owned by this principal."""

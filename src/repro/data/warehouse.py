@@ -9,19 +9,31 @@ so the data layer and the storage substrate stay decoupled.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
 
 from repro.cloud.storage import BlobStore, Container
 from repro.hydrology.timeseries import TimeSeries
 
 
 class DataWarehouse:
-    """Named datasets in one blob-store container."""
+    """Named datasets in one blob-store container.
+
+    Deserialisation is memoised by blob etag: the widgets poll the same
+    few series over and over, and rebuilding a :class:`TimeSeries` from
+    the payload on every read is pure waste.  A cached instance is safe
+    to share because a ``TimeSeries`` never mutates after construction.
+    The memo is keyed per dataset and validated against the *current*
+    blob etag on every read, so an overwrite is never served stale.
+    """
 
     CONTAINER = "warehouse"
+    #: bound on the deserialisation memo (datasets, not bytes)
+    MEMO_ENTRIES = 256
 
     def __init__(self, store: BlobStore):
         self._container: Container = store.create_container(self.CONTAINER)
+        self._memo: "OrderedDict[str, Tuple[str, TimeSeries]]" = OrderedDict()
 
     def put_series(self, dataset_id: str, series: TimeSeries,
                    provenance: str = "") -> None:
@@ -43,9 +55,23 @@ class DataWarehouse:
     def get_series(self, dataset_id: str) -> TimeSeries:
         """Fetch a stored series (raises BlobNotFound if absent)."""
         blob = self._container.get(dataset_id)
+        memo = self._memo.get(dataset_id)
+        if memo is not None and memo[0] == blob.etag:
+            self._memo.move_to_end(dataset_id)
+            return memo[1]
         payload = blob.payload
-        return TimeSeries(payload["start"], payload["dt"], payload["values"],
-                          units=payload["units"], name=payload["name"])
+        series = TimeSeries(payload["start"], payload["dt"],
+                            payload["values"],
+                            units=payload["units"], name=payload["name"])
+        self._memo[dataset_id] = (blob.etag, series)
+        self._memo.move_to_end(dataset_id)
+        while len(self._memo) > self.MEMO_ENTRIES:
+            self._memo.popitem(last=False)
+        return series
+
+    def etag_of(self, dataset_id: str) -> str:
+        """The stored blob's etag — the revalidation token REST hands out."""
+        return self._container.get(dataset_id).etag
 
     def exists(self, dataset_id: str) -> bool:
         """Whether a dataset is stored."""
@@ -54,6 +80,7 @@ class DataWarehouse:
     def delete(self, dataset_id: str) -> None:
         """Remove a dataset."""
         self._container.delete(dataset_id)
+        self._memo.pop(dataset_id, None)
 
     def list(self, prefix: str = "") -> List[str]:
         """Dataset ids with the given prefix, sorted."""

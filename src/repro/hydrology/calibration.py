@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.hydrology.metrics import nash_sutcliffe_efficiency
+from repro.perf.runner import CAPTURED_ERRORS, EnsembleRunner, RunFailure
 
 
 @dataclass
@@ -62,20 +63,32 @@ class CalibrationResult:
 
 
 class MonteCarloCalibrator:
-    """Uniform random search over declared parameter ranges."""
+    """Uniform random search over declared parameter ranges.
+
+    Pass a :class:`~repro.perf.runner.EnsembleRunner` to funnel the
+    evaluations through the shared run cache (and, opt-in, the parallel
+    backend); ``simulate`` may then be omitted — the runner's own
+    callable is used.  With or without a runner, and with a cold or warm
+    cache, the calibration result is identical draw for draw.
+    """
 
     def __init__(self, ranges: Dict[str, Tuple[float, float]],
-                 simulate: Callable[[Dict[str, float]], Sequence[float]],
+                 simulate: Optional[Callable[[Dict[str, float]],
+                                             Sequence[float]]] = None,
                  objective: Optional[Callable[[Sequence[float], Sequence[float]],
                                               float]] = None,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 runner: Optional[EnsembleRunner] = None):
         if not ranges:
             raise ValueError("no parameter ranges declared")
         for name, (lo, hi) in ranges.items():
             if hi < lo:
                 raise ValueError(f"range for {name!r} is inverted")
+        if simulate is None and runner is None:
+            raise ValueError("need a simulate callable or a runner")
         self.ranges = dict(ranges)
-        self.simulate = simulate
+        self.runner = runner
+        self.simulate = simulate if simulate is not None else runner.simulate
         self.objective = objective or nash_sutcliffe_efficiency
         self.rng = rng or random.Random(0)
 
@@ -91,14 +104,27 @@ class MonteCarloCalibrator:
         A parameter draw that makes the model blow up is information
         (a non-behavioural region), not an error.
         """
+        # all draws happen before any evaluation, so the RNG sequence is
+        # independent of how (or whether) evaluations are cached
+        draws = [self.sample_parameters() for _ in range(iterations)]
+        if self.runner is not None:
+            outcomes = self.runner.run_many(draws, capture_errors=True)
+        else:
+            outcomes = []
+            for params in draws:
+                try:
+                    outcomes.append(self.simulate(params))
+                except CAPTURED_ERRORS as err:
+                    outcomes.append(RunFailure.of(err))
         samples: List[CalibrationSample] = []
-        for _ in range(iterations):
-            params = self.sample_parameters()
-            try:
-                simulated = self.simulate(params)
-                score = self.objective(observed, simulated)
-            except (ValueError, ArithmeticError, OverflowError):
+        for params, outcome in zip(draws, outcomes):
+            if isinstance(outcome, RunFailure):
                 score = float("-inf")
+            else:
+                try:
+                    score = self.objective(observed, outcome)
+                except CAPTURED_ERRORS:
+                    score = float("-inf")
             samples.append(CalibrationSample(parameters=params, score=score))
         return CalibrationResult(samples=samples,
                                  behavioural_threshold=behavioural_threshold)

@@ -17,9 +17,10 @@ behind that exploration:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.hydrology.calibration import CalibrationResult
+from repro.perf.runner import EnsembleRunner
 
 
 @dataclass
@@ -46,27 +47,42 @@ class OatCurve:
 def one_at_a_time(simulate_metric: Callable[[Dict[str, float]], float],
                   ranges: Dict[str, Tuple[float, float]],
                   reference: Dict[str, float],
-                  points: int = 7) -> Dict[str, OatCurve]:
+                  points: int = 7,
+                  runner: Optional[EnsembleRunner] = None
+                  ) -> Dict[str, OatCurve]:
     """OAT sweep of every parameter in ``ranges``.
 
     ``simulate_metric(params) -> scalar`` runs the model and extracts
     the metric; ``reference`` holds the values of parameters not being
-    varied (it must cover every key of ``ranges``).
+    varied (it must cover every key of ``ranges``).  With a ``runner``
+    (an :class:`~repro.perf.runner.EnsembleRunner` wrapping the same
+    callable) the sweep evaluates through the shared run cache, so a
+    repeated exploration — the slider-widget access pattern — re-runs
+    nothing.
     """
     if points < 2:
         raise ValueError("need at least two sweep points")
     missing = set(ranges) - set(reference)
     if missing:
         raise ValueError(f"reference values missing for {sorted(missing)}")
-    curves: Dict[str, OatCurve] = {}
+    # assemble the full evaluation plan first so a batch backend can run
+    # it in one pass; order matches the historical nested loops exactly
+    plan: List[Tuple[str, float, Dict[str, float]]] = []
     for name, (lo, hi) in ranges.items():
-        sweep = [lo + (hi - lo) * i / (points - 1) for i in range(points)]
-        curve_points = []
-        for value in sweep:
+        for i in range(points):
+            value = lo + (hi - lo) * i / (points - 1)
             params = dict(reference)
             params[name] = value
-            curve_points.append((value, simulate_metric(params)))
-        curves[name] = OatCurve(parameter=name, points=curve_points)
+            plan.append((name, value, params))
+    if runner is not None:
+        metrics = runner.run_many([params for _n, _v, params in plan])
+    else:
+        metrics = [simulate_metric(params) for _n, _v, params in plan]
+    curves: Dict[str, OatCurve] = {}
+    for (name, value, _params), metric in zip(plan, metrics):
+        curves.setdefault(
+            name, OatCurve(parameter=name, points=[])
+        ).points.append((value, metric))
     return curves
 
 

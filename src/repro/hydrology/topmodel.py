@@ -18,6 +18,15 @@ A from-scratch implementation of the classic saturation-excess model
 
 Units: depths in mm, time in steps of ``dt_hours``; transmissivity
 parameter ``t0 = ln(T0)`` with T0 in m²/h.
+
+The step loop is the hottest code in the repository — every calibration,
+sensitivity sweep, GLUE ensemble and WPS Execute funnels through it — so
+it is written for CPython speed without changing a single bit of the
+output: per-class constants (the ``m·(λ − TI_i)`` deficit offsets, SZQ,
+the class area fractions) are computed once per parameter set, the inner
+loop touches only local names and pre-sanitised forcing lists, and batch
+evaluation of many parameter sets over one forcing reuses the prepared
+arrays via :class:`PreparedForcing` / :meth:`Topmodel.run_batch`.
 """
 
 from __future__ import annotations
@@ -113,6 +122,28 @@ class TopmodelResult:
         return self.flow.map(lambda v: v * factor)
 
 
+@dataclass(frozen=True)
+class PreparedForcing:
+    """Forcing sanitised once, reusable across many parameter sets.
+
+    ``rain`` has NaNs zeroed and negatives clamped; ``pet`` has
+    negatives clamped (or is ``None``).  Preparing is O(n) and the step
+    loop is O(n·classes), so a batch of P parameter sets over one
+    forcing saves P−1 sanitisation passes plus all the per-run
+    length/alignment checks.
+    """
+
+    start: float
+    dt: float
+    rain: Tuple[float, ...]
+    pet: Optional[Tuple[float, ...]]
+
+    @property
+    def n(self) -> int:
+        """Number of timesteps."""
+        return len(self.rain)
+
+
 class Topmodel:
     """TOPMODEL bound to one topographic-index distribution.
 
@@ -132,6 +163,23 @@ class Topmodel:
         self.ti = [(float(t), float(f)) for t, f in ti_distribution]
         self.dt_hours = dt_hours
         self.lam = sum(t * f for t, f in self.ti)  # areal mean TI
+        # per-class vectors the step loop indexes instead of unpacking
+        # (ti_value, fraction) tuples on every iteration
+        self._tis = [t for t, _f in self.ti]
+        self._fractions = [f for _t, f in self.ti]
+
+    def prepare(self, rainfall: TimeSeries,
+                pet: Optional[TimeSeries] = None) -> PreparedForcing:
+        """Sanitise forcing once for reuse across parameter sets."""
+        if pet is not None and len(pet) != len(rainfall):
+            raise ValueError("PET series must match rainfall length")
+        isnan = math.isnan
+        rain = tuple(0.0 if isnan(v) else (v if v > 0.0 else 0.0)
+                     for v in rainfall)
+        pet_clean = None if pet is None else tuple(
+            v if v > 0.0 else 0.0 for v in pet)
+        return PreparedForcing(start=rainfall.start, dt=rainfall.dt,
+                               rain=rain, pet=pet_clean)
 
     def run(self, rainfall: TimeSeries, pet: Optional[TimeSeries] = None,
             parameters: Optional[TopmodelParameters] = None) -> TopmodelResult:
@@ -140,24 +188,63 @@ class Topmodel:
         ``rainfall`` in mm/step; ``pet`` (optional) in mm/step aligned
         with the rainfall series.
         """
-        params = (parameters or TopmodelParameters()).validated()
-        if pet is not None and len(pet) != len(rainfall):
-            raise ValueError("PET series must match rainfall length")
-        dt = self.dt_hours
-        n = len(rainfall)
+        return self.run_prepared(self.prepare(rainfall, pet), parameters)
 
-        szq = 1000.0 * math.exp(params.t0 - self.lam) * dt  # mm/step
+    def run_batch(self, rainfall: TimeSeries,
+                  parameter_sets: Sequence[TopmodelParameters],
+                  pet: Optional[TimeSeries] = None) -> List[TopmodelResult]:
+        """Run many parameter sets over one forcing, preparing it once.
+
+        Results are identical to calling :meth:`run` per set; the batch
+        form is what ensemble workloads (calibration, GLUE, OAT sweeps)
+        should use.
+        """
+        forcing = self.prepare(rainfall, pet)
+        return [self.run_prepared(forcing, p) for p in parameter_sets]
+
+    def run_prepared(self, forcing: PreparedForcing,
+                     parameters: Optional[TopmodelParameters] = None
+                     ) -> TopmodelResult:
+        """The step loop over pre-sanitised forcing.
+
+        Bit-for-bit equivalent to the original per-step formulation: the
+        floating-point evaluation order of every accumulation is
+        preserved, only attribute lookups and per-iteration allocations
+        were hoisted out of the loop.
+        """
+        params = (parameters or TopmodelParameters()).validated()
+        dt = self.dt_hours
+        n = forcing.n
+        rain_list = forcing.rain
+        pet_list = forcing.pet
+
+        # loop-invariant bindings: parameter fields, class constants and
+        # builtins resolved once instead of per step (or per class)
+        m = params.m
+        srmax = params.srmax
+        td = params.td
+        interception_mm = params.interception_mm
+        capacity = params.infiltration_capacity_mm_h * dt
+        exp = math.exp
+
+        szq = 1000.0 * exp(params.t0 - self.lam) * dt  # mm/step
         # initialise the water table at the deficit producing the declared
         # antecedent baseflow, so the run starts near steady state
         target_baseflow = params.q0_mm_h * dt
         if szq > target_baseflow:
-            mean_deficit = params.m * math.log(szq / target_baseflow)
+            mean_deficit = m * math.log(szq / target_baseflow)
         else:
             mean_deficit = 1.0
         initial_deficit = mean_deficit
-        root_deficit = params.sr0 * params.srmax
-        initial_root_store = params.srmax - root_deficit
-        suz = [0.0 for _ in self.ti]   # unsaturated storage per class, mm
+        root_deficit = params.sr0 * srmax
+        initial_root_store = srmax - root_deficit
+
+        # per-class constants for this parameter set: the local deficit is
+        # S̄ + m(λ − TI_k), so m(λ − TI_k) is fixed per class
+        lam = self.lam
+        offsets = [m * (lam - t) for t in self._tis]
+        fractions = self._fractions
+        suz = [0.0] * len(offsets)   # unsaturated storage per class, mm
 
         total_in = 0.0
         total_out = 0.0
@@ -166,32 +253,38 @@ class Topmodel:
         over_out: List[float] = []
         satfrac_out: List[float] = []
         aet_out: List[float] = []
+        flow_app = flow_raw.append
+        base_app = base_out.append
+        over_app = over_out.append
+        satfrac_app = satfrac_out.append
+        aet_app = aet_out.append
 
         for step in range(n):
-            rain = rainfall[step]
-            rain = 0.0 if math.isnan(rain) else max(0.0, rain)
-            pet_step = 0.0 if pet is None else max(0.0, pet[step])
+            rain = rain_list[step]
+            pet_step = 0.0 if pet_list is None else pet_list[step]
             total_in += rain
 
             # canopy interception
-            intercepted = min(rain, params.interception_mm) if rain > 0 else 0.0
+            intercepted = min(rain, interception_mm) if rain > 0 else 0.0
             rain_ground = rain - intercepted
             total_out += intercepted
 
             # Hortonian infiltration excess (compacted soils)
-            capacity = params.infiltration_capacity_mm_h * dt
-            infiltration_excess = max(0.0, rain_ground - capacity)
+            infiltration_excess = rain_ground - capacity
+            if infiltration_excess < 0.0:
+                infiltration_excess = 0.0
             infiltrating = rain_ground - infiltration_excess
 
             # root-zone accounting: rain fills the root-zone deficit first
-            to_root = min(infiltrating, root_deficit)
+            to_root = (infiltrating if infiltrating < root_deficit
+                       else root_deficit)
             root_deficit -= to_root
             drainage = infiltrating - to_root  # reaches the unsaturated zone
 
             # actual ET draws the root zone down
-            aet = pet_step * max(0.0, 1.0 - root_deficit / params.srmax)
-            aet = min(aet, params.srmax - root_deficit)
-            root_deficit = min(params.srmax, root_deficit + aet)
+            aet = pet_step * max(0.0, 1.0 - root_deficit / srmax)
+            aet = min(aet, srmax - root_deficit)
+            root_deficit = min(srmax, root_deficit + aet)
             total_out += aet
 
             overland = infiltration_excess
@@ -199,26 +292,30 @@ class Topmodel:
             return_flow = 0.0
             saturated_area = 0.0
 
-            for k, (ti_value, fraction) in enumerate(self.ti):
-                local_deficit = mean_deficit + params.m * (self.lam - ti_value)
+            k = 0
+            for offset in offsets:
+                local_deficit = mean_deficit + offset
                 if local_deficit <= 0.0:
                     # saturated class: drainage and stored unsaturated
                     # water run straight off; the storage excess above
                     # saturation exfiltrates as return flow
+                    fraction = fractions[k]
                     saturated_area += fraction
                     overland += fraction * (drainage + suz[k])
                     return_flow += fraction * (-local_deficit)
                     suz[k] = 0.0
                 else:
-                    suz[k] += drainage
                     # unsaturated drainage toward the water table
-                    flux = min(suz[k],
-                               suz[k] / (local_deficit * params.td) * dt)
-                    suz[k] -= flux
-                    recharge += fraction * flux
+                    stored = suz[k] + drainage
+                    flux = stored / (local_deficit * td) * dt
+                    if flux > stored:
+                        flux = stored
+                    suz[k] = stored - flux
+                    recharge += fractions[k] * flux
+                k += 1
 
             overland += return_flow
-            baseflow = szq * math.exp(-mean_deficit / params.m)
+            baseflow = szq * exp(-mean_deficit / m)
             # baseflow and return flow empty the saturated store (deficit
             # grows); recharge refills it; if recharge overfills the store
             # the excess exfiltrates rather than being lost
@@ -228,20 +325,21 @@ class Topmodel:
                 new_deficit = 0.0
             mean_deficit = new_deficit
 
-            flow_raw.append(baseflow + overland)
-            base_out.append(baseflow)
-            over_out.append(overland)
-            satfrac_out.append(saturated_area)
-            aet_out.append(aet)
+            flow_app(baseflow + overland)
+            base_app(baseflow)
+            over_app(overland)
+            satfrac_app(saturated_area)
+            aet_app(aet)
             total_out += baseflow + overland
 
         routed = self._route(flow_raw, params)
-        start, series_dt = rainfall.start, rainfall.dt
+        start, series_dt = forcing.start, forcing.dt
         # water balance over the runoff-generation stage (routing holds a
         # small residual in the channel store, excluded by design):
         # in = out + Δ(unsaturated) + Δ(root zone) − Δ(deficit)
-        suz_store = sum(frac * suz[k] for k, (_ti, frac) in enumerate(self.ti))
-        root_store = params.srmax - root_deficit
+        suz_store = sum(frac * suz[k]
+                        for k, frac in enumerate(fractions))
+        root_store = srmax - root_deficit
         storage_change = (suz_store
                           + (root_store - initial_root_store)
                           - (mean_deficit - initial_deficit))
@@ -262,6 +360,37 @@ class Topmodel:
             final_deficit_mm=mean_deficit,
             water_balance_error_mm=balance_error,
         )
+
+    def binned(self, classes: int) -> "Topmodel":
+        """A coarser copy with the TI distribution merged into ``classes``
+        area-weighted bins — an opt-in speed/accuracy trade.
+
+        The step loop is O(n·classes), so halving the class count halves
+        the hot-loop cost.  Accuracy bound: each class's TI value moves
+        by at most the width of the bin it lands in, so every local
+        saturation deficit ``S̄ + m(λ − TI)`` is perturbed by at most
+        ``m · w`` mm, where ``w`` is the widest bin's TI spread
+        (``w ≈ (max TI − min TI) / classes`` for the default smooth
+        distributions).  Binned runs are NOT bit-identical to the full
+        distribution; callers that need exact reproduction must use the
+        original model.
+        """
+        if classes < 2:
+            raise ValueError("need at least two classes")
+        if classes >= len(self.ti):
+            return Topmodel(self.ti, self.dt_hours)
+        ordered = sorted(self.ti)
+        lo, hi = ordered[0][0], ordered[-1][0]
+        width = (hi - lo) / classes or 1.0
+        sums = [0.0] * classes      # Σ ti·frac per bin
+        areas = [0.0] * classes     # Σ frac per bin
+        for ti_value, fraction in ordered:
+            index = min(classes - 1, int((ti_value - lo) / width))
+            sums[index] += ti_value * fraction
+            areas[index] += fraction
+        merged = [(sums[i] / areas[i], areas[i])
+                  for i in range(classes) if areas[i] > 0]
+        return Topmodel(merged, self.dt_hours)
 
     def _route(self, flow: List[float],
                params: TopmodelParameters) -> List[float]:

@@ -1,0 +1,190 @@
+"""The shared ensemble runner every analysis path funnels through.
+
+Calibration, OAT sensitivity, regional sensitivity and GLUE all reduce
+to the same primitive — "evaluate this model for each of these parameter
+sets" — and before this module each of them re-ran the model from
+scratch.  :class:`EnsembleRunner` is that primitive made shared: one
+``simulate`` callable, one content-addressed
+:class:`~repro.perf.runcache.RunCache`, and an opt-in
+``concurrent.futures`` parallel backend whose output is merged back in
+input order so parallel and serial runs are bit-identical.
+
+``simulate`` must be a pure function of its parameter dict (every model
+binding in :mod:`repro.hydrology` is); deterministic *failures* are as
+cacheable as results, so a parameter draw that blows the model up is
+captured as a :class:`RunFailure` once and never re-raised from compute.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.perf.runcache import RunCache
+
+#: Exception families a model evaluation may deterministically raise for
+#: a bad parameter draw — information (a non-behavioural region), not an
+#: error.  Matches the calibrator's historical tolerance.
+CAPTURED_ERRORS = (ValueError, ArithmeticError)
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """A deterministic simulation failure, captured and cacheable."""
+
+    error_type: str
+    message: str
+
+    @classmethod
+    def of(cls, error: BaseException) -> "RunFailure":
+        """Wrap an exception."""
+        return cls(error_type=type(error).__name__, message=str(error))
+
+
+class EnsembleRunner:
+    """Runs one model over many parameter sets, cached and optionally
+    parallel.
+
+    ``model_id`` and ``forcing`` scope the cache keys (same scheme as
+    the workflow stage cache: model id + canonical parameters + forcing
+    digest), so one :class:`RunCache` can safely back many runners.
+    ``workers > 1`` enables a thread-pool backend; results are merged in
+    input order, so the output sequence is identical to a serial run.
+    ``sim`` (optional) attaches spans/events to that simulator's
+    observability hub so cache behaviour shows up in traces.
+    """
+
+    def __init__(self, simulate: Callable[[Dict[str, float]], Any],
+                 model_id: str = "model", forcing: str = "",
+                 cache: Optional[RunCache] = None,
+                 workers: int = 1, sim=None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.simulate = simulate
+        self.model_id = model_id
+        self.forcing = forcing
+        self.cache = cache
+        self.workers = workers
+        self.sim = sim
+
+    # -- single evaluation --------------------------------------------------
+
+    def key_of(self, parameters: Dict[str, float]) -> str:
+        """The content-addressed cache key of one parameter set."""
+        return RunCache.key_of(self.model_id, parameters, self.forcing)
+
+    def run_one(self, parameters: Dict[str, float],
+                capture_errors: bool = False) -> Any:
+        """Evaluate one parameter set, consulting the cache.
+
+        With ``capture_errors``, deterministic model failures come back
+        as :class:`RunFailure` values (and are cached as such) instead
+        of raising — a cache hit on a failure therefore reproduces the
+        failure without re-running the model.
+        """
+        if self.cache is None:
+            return self._evaluate(parameters, capture_errors)
+        key = self.key_of(parameters)
+        found, value = self.cache.lookup(key)
+        if found:
+            if isinstance(value, RunFailure) and not capture_errors:
+                raise ValueError(
+                    f"cached run failed: {value.error_type}: {value.message}")
+            return value
+        value = self._evaluate(parameters, capture_errors)
+        self.cache.store(key, value)
+        return value
+
+    # -- batch evaluation ---------------------------------------------------
+
+    def run_many(self, parameter_sets: Sequence[Dict[str, float]],
+                 capture_errors: bool = False) -> List[Any]:
+        """Evaluate a batch; output order always matches input order.
+
+        The serial and parallel backends return bit-identical sequences:
+        the thread pool only reorders *computation*, never results, and
+        cache stores happen in first-occurrence order.
+        """
+        span = None
+        if self.sim is not None:
+            from repro.obs.hub import obs_of
+            hub = obs_of(self.sim)
+            hits_before = self.cache.hits if self.cache else 0
+            span = hub.tracer.start_span(
+                f"ensemble.run {self.model_id}", kind="perf",
+                attributes={"runs": len(parameter_sets),
+                            "workers": self.workers})
+        try:
+            if self.workers == 1 or len(parameter_sets) < 2:
+                results = [self.run_one(p, capture_errors)
+                           for p in parameter_sets]
+            else:
+                results = self._run_parallel(parameter_sets, capture_errors)
+        finally:
+            if span is not None:
+                if self.cache is not None:
+                    span.set_attribute(
+                        "cache_hits", self.cache.hits - hits_before)
+                span.finish()
+                hub.events.emit("perf.ensemble.batch",
+                                model=self.model_id,
+                                runs=len(parameter_sets),
+                                workers=self.workers)
+        return results
+
+    def _run_parallel(self, parameter_sets: Sequence[Dict[str, float]],
+                      capture_errors: bool) -> List[Any]:
+        if self.cache is None:
+            # no cache: evaluate everything concurrently, merge by index
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                return list(pool.map(
+                    lambda p: self._evaluate(p, capture_errors),
+                    parameter_sets))
+        # resolve hits up front; compute each unique miss exactly once
+        keys = [self.key_of(p) for p in parameter_sets]
+        resolved: Dict[str, Any] = {}
+        seen = set()
+        miss_keys: List[str] = []
+        miss_params: List[Dict[str, float]] = []
+        for key, params in zip(keys, parameter_sets):
+            if key in seen:
+                continue
+            seen.add(key)
+            found, value = self.cache.lookup(key)
+            if found:
+                resolved[key] = value
+            else:
+                miss_keys.append(key)
+                miss_params.append(params)
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            computed = list(pool.map(
+                lambda p: self._evaluate(p, capture_errors), miss_params))
+        # store in first-occurrence order: the deterministic merge
+        for key, value in zip(miss_keys, computed):
+            self.cache.store(key, value)
+            resolved[key] = value
+        out = []
+        for key in keys:
+            value = resolved[key]
+            if isinstance(value, RunFailure) and not capture_errors:
+                raise ValueError(
+                    f"cached run failed: {value.error_type}: {value.message}")
+            out.append(value)
+        return out
+
+    def _evaluate(self, parameters: Dict[str, float],
+                  capture_errors: bool) -> Any:
+        if not capture_errors:
+            return self.simulate(parameters)
+        try:
+            return self.simulate(parameters)
+        except CAPTURED_ERRORS as err:
+            return RunFailure.of(err)
+
+    def stats(self) -> Dict[str, float]:
+        """The backing cache's stats (zeros when uncached)."""
+        if self.cache is None:
+            return {"hits": 0, "misses": 0, "evictions": 0,
+                    "entries": 0, "hit_rate": 0.0}
+        return self.cache.stats()

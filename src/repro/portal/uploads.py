@@ -19,7 +19,7 @@ from repro.cloud.instance import Instance
 from repro.data.catalog import AssetCatalog, AssetOrigin
 from repro.data.warehouse import DataWarehouse
 from repro.hydrology.timeseries import TimeSeries
-from repro.services.rest import RestApi, RestServer
+from repro.services.rest import RestApi, RestCacheable, RestServer
 from repro.services.transport import HttpRequest
 from repro.sim import Simulator
 
@@ -79,7 +79,8 @@ class UploadService:
         dataset_id = params["dataset_id"].replace("__", "/")
         if not self.warehouse.exists(dataset_id):
             return 404, {"error": f"no dataset {dataset_id!r}"}
-        return self.warehouse.describe(dataset_id)
+        return RestCacheable(body=self.warehouse.describe(dataset_id),
+                             etag=self.warehouse.etag_of(dataset_id))
 
     def _download(self, request: HttpRequest, params: Dict[str, str]):
         """Raw download, ACL-enforced via the X-Principal header.
@@ -99,13 +100,16 @@ class UploadService:
             except AccessDenied as err:
                 return 403, {"error": str(err)}
         series = self.warehouse.get_series(dataset_id)
-        return {
-            "datasetId": dataset_id,
-            "start": series.start,
-            "dt": series.dt,
-            "values": series.values,
-            "units": series.units,
-        }
+        return RestCacheable(
+            body={
+                "datasetId": dataset_id,
+                "start": series.start,
+                "dt": series.dt,
+                "values": series.values,
+                "units": series.units,
+            },
+            etag=self.warehouse.etag_of(dataset_id),
+        )
 
     @staticmethod
     def _validate(body: Dict[str, Any]) -> Optional[str]:

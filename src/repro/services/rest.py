@@ -85,6 +85,22 @@ class RestDeferred:
 
 
 @dataclass
+class RestCacheable:
+    """A handler result carrying a revalidation token.
+
+    The server compares ``etag`` against the request's ``If-None-Match``
+    header: on a match it answers ``304 Not Modified`` with no body —
+    the widget polling a dataset pays header bytes, not payload bytes —
+    otherwise the full ``status``/``body`` goes out, stamped with an
+    ``ETag`` header the client replays on its next poll.
+    """
+
+    body: Any
+    etag: str
+    status: int = 200
+
+
+@dataclass
 class RestBackground:
     """A handler result that answers now and keeps computing.
 
@@ -216,6 +232,8 @@ class RestServer:
                                  span)
 
                 self.sim.spawn(deferred_waiter(), name="rest.deferred")
+            elif isinstance(result, RestCacheable):
+                self._finish(done, self._revalidate(request, result), span)
             elif isinstance(result, RestBackground):
                 background_job = result.job
                 if span is not None and background_job.trace is None:
@@ -235,6 +253,15 @@ class RestServer:
         match = re.search(r"job raised: (.*)", error)
         message = match.group(1) if match else error
         return HttpResponse(status=500, body={"error": message})
+
+    @staticmethod
+    def _revalidate(request: HttpRequest,
+                    cacheable: RestCacheable) -> HttpResponse:
+        headers = {"ETag": cacheable.etag}
+        if request.headers.get("If-None-Match") == cacheable.etag:
+            return HttpResponse(status=304, body=None, headers=headers)
+        return HttpResponse(status=cacheable.status, body=cacheable.body,
+                            headers=headers)
 
     @staticmethod
     def _coerce(result: Any) -> Tuple[int, Any]:

@@ -24,6 +24,7 @@ from repro.services.rest import (
     HttpError,
     RestApi,
     RestBackground,
+    RestCacheable,
     RestDeferred,
     RestServer,
 )
@@ -266,7 +267,10 @@ class WpsService:
         return removed
 
     def _get_status(self, request: HttpRequest, params: Dict[str, str]):
+        # status documents are polled until they settle; the blob etag
+        # lets a poller revalidate instead of re-downloading the outputs
         execution_id = params["execution_id"]
         if not self.status.exists(execution_id):
             return 404, {"error": f"no execution {execution_id!r}"}
-        return dict(self.status.get(execution_id).payload)
+        blob = self.status.get(execution_id)
+        return RestCacheable(body=dict(blob.payload), etag=blob.etag)

@@ -42,20 +42,27 @@ class EventHandle:
 
     Cancellation is lazy: the entry stays in the calendar but is skipped by
     the run loop *without advancing the clock*, so cancelling a far-future
-    timer never stretches the simulated horizon.
+    timer never stretches the simulated horizon.  When cancelled entries
+    pile up (long soaks cancel timers constantly) the owning simulator
+    compacts the calendar rather than letting it grow without bound.
     """
 
-    __slots__ = ("when", "fn", "args", "cancelled")
+    __slots__ = ("when", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, when: float, fn: Callable, args: tuple):
+    def __init__(self, when: float, fn: Callable, args: tuple,
+                 sim: Optional["Simulator"] = None):
         self.when = when
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing; idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._note_cancelled()
 
 
 class Signal:
@@ -251,6 +258,11 @@ class Simulator:
     instead of being silently recorded, which is what tests want.
     """
 
+    #: compact the calendar once this many cancelled entries linger *and*
+    #: they make up at least half the queue — rare enough to amortise the
+    #: O(n) rebuild, soon enough that cancel-heavy soaks stay bounded
+    COMPACT_THRESHOLD = 256
+
     def __init__(self, strict: bool = True):
         self._now = 0.0
         self._seq = 0
@@ -258,11 +270,17 @@ class Simulator:
         self._strict = strict
         self._failures: list = []
         self._processes: List[Process] = []
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def calendar_size(self) -> int:
+        """Entries currently in the calendar, cancelled ones included."""
+        return len(self._queue)
 
     @property
     def failures(self) -> List[Tuple["Process", BaseException]]:
@@ -280,9 +298,22 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
         self._seq += 1
-        handle = EventHandle(self._now + delay, fn, args)
+        handle = EventHandle(self._now + delay, fn, args, sim=self)
         heapq.heappush(self._queue, (handle.when, self._seq, handle))
         return handle
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (self._cancelled >= self.COMPACT_THRESHOLD
+                and self._cancelled * 2 >= len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and restore the heap invariant."""
+        self._queue = [entry for entry in self._queue
+                       if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     def _schedule_now(self, fn: Callable, *args: Any) -> EventHandle:
         return self.schedule(0.0, fn, *args)
@@ -318,6 +349,8 @@ class Simulator:
             when, _seq, handle = self._queue[0]
             if handle.cancelled:
                 heapq.heappop(self._queue)
+                if self._cancelled > 0:
+                    self._cancelled -= 1
                 continue
             if until is not None and when > until:
                 break

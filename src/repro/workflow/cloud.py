@@ -11,9 +11,7 @@ semantics, and leaves the same provenance.
 
 from __future__ import annotations
 
-import hashlib
 import itertools
-import json
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
@@ -22,7 +20,12 @@ from repro.obs.hub import obs_of
 from repro.services.transport import HttpRequest, HttpResponse, Network
 from repro.sim import Signal, Simulator
 from repro.workflow.dag import Workflow, WorkflowNode
-from repro.workflow.engine import RunRecord, StageRecord, _short_repr
+from repro.workflow.engine import (
+    RunRecord,
+    StageRecord,
+    _short_repr,
+    stage_cache_key,
+)
 
 _run_ids = itertools.count()
 
@@ -161,12 +164,10 @@ class CloudWorkflowEngine:
 
     def _cache_key(self, node: WorkflowNode, params: Dict[str, Any],
                    upstream_keys: Dict[str, str]) -> str:
-        relevant = {name: params.get(name) for name in node.params_used}
         call: Optional[ServiceCall] = getattr(node, "service_call", None)
-        basis = json.dumps({
+        return stage_cache_key({
             "node": node.node_id,
             "process": call.process_id if call else None,
-            "params": relevant,
+            "params": {name: params.get(name) for name in node.params_used},
             "deps": [upstream_keys[dep] for dep in node.depends_on],
-        }, sort_keys=True, default=repr)
-        return hashlib.sha256(basis.encode()).hexdigest()[:16]
+        }, node.node_id)

@@ -17,6 +17,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.perf.keys import CanonicalisationError, canonical
 from repro.workflow.dag import Workflow, WorkflowNode
 
 _run_ids = itertools.count()
@@ -142,13 +143,30 @@ class WorkflowEngine:
 
     def _cache_key(self, node: WorkflowNode, params: Dict[str, Any],
                    upstream_keys: Dict[str, str]) -> str:
-        relevant = {name: params.get(name) for name in node.params_used}
-        basis = json.dumps({
+        return stage_cache_key({
             "node": node.node_id,
-            "params": relevant,
+            "params": {name: params.get(name) for name in node.params_used},
             "deps": [upstream_keys[dep] for dep in node.depends_on],
-        }, sort_keys=True, default=repr)
-        return hashlib.sha256(basis.encode()).hexdigest()[:16]
+        }, node.node_id)
+
+
+def stage_cache_key(basis: Dict[str, Any], node_id: str) -> str:
+    """Hash a stage's cache basis into its content-addressed key.
+
+    The basis is canonicalised first — nested dicts are key-sorted and
+    tuples/lists unified — so a parameter dict built in a different
+    insertion order still hits the cache.  Values with no canonical JSON
+    form (objects, sets, ...) raise a clear error naming the stage and
+    parameter path rather than being silently keyed by ``repr`` (which
+    can embed memory addresses, making every run a miss).
+    """
+    try:
+        normalised = canonical(basis, f"stage {node_id!r}")
+    except CanonicalisationError as err:
+        raise CanonicalisationError(
+            f"workflow cache key for {err}") from None
+    text = json.dumps(normalised, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
 def _short_repr(value: Any, limit: int = 120) -> str:

@@ -131,3 +131,15 @@ def test_unregistered_datasets_are_public(setup):
                          TimeSeries(0, 3600, [1.0, 2.0]))
     anyone = owner_view.as_principal(None)
     assert anyone.get_series("legacy/open-rainfall").total() == 3.0
+
+
+def test_etag_guarded_like_the_data(setup):
+    _sim, warehouse, _policy, owner_view = setup
+    # the owner gets the revalidation token; a stranger does not — an
+    # etag leaks content equality, so it is gated by the same ACL
+    assert owner_view.etag_of("user/dr-rivers/private") \
+        == warehouse.etag_of("user/dr-rivers/private")
+    stranger = owner_view.as_principal("nosy-neighbour")
+    with pytest.raises(AccessDenied):
+        stranger.etag_of("user/dr-rivers/private")
+    assert stranger.etag_of("user/dr-rivers/open")

@@ -297,3 +297,57 @@ def test_warehouse_roundtrip(sim):
     assert warehouse.list("morland/") == ["morland/rain-2012"]
     warehouse.delete("morland/rain-2012")
     assert not warehouse.exists("morland/rain-2012")
+
+
+# -- warehouse deserialisation memo ---------------------------------------------
+
+
+def test_get_series_memoises_by_etag(sim):
+    warehouse = DataWarehouse(BlobStore(sim))
+    series = TimeSeries(0, 3600, [1.0, 2.0, 3.0], units="mm", name="rain")
+    warehouse.put_series("memo/rain", series)
+    first = warehouse.get_series("memo/rain")
+    second = warehouse.get_series("memo/rain")
+    # identical object: no re-deserialisation on a repeat read
+    assert second is first
+    assert second.values == [1.0, 2.0, 3.0]
+
+
+def test_get_series_memo_invalidated_by_overwrite(sim):
+    warehouse = DataWarehouse(BlobStore(sim))
+    warehouse.put_series("memo/rain", TimeSeries(0, 3600, [1.0, 2.0]))
+    stale = warehouse.get_series("memo/rain")
+    warehouse.put_series("memo/rain", TimeSeries(0, 3600, [9.0, 9.0]))
+    fresh = warehouse.get_series("memo/rain")
+    assert fresh is not stale
+    assert fresh.values == [9.0, 9.0]
+
+
+def test_get_series_memo_is_bounded(sim):
+    warehouse = DataWarehouse(BlobStore(sim))
+    for i in range(DataWarehouse.MEMO_ENTRIES + 10):
+        warehouse.put_series(f"memo/{i}", TimeSeries(0, 3600, [float(i)] * 2))
+        warehouse.get_series(f"memo/{i}")
+    assert len(warehouse._memo) == DataWarehouse.MEMO_ENTRIES
+    # evicted entries still read correctly (straight from the blob)
+    assert warehouse.get_series("memo/0").values == [0.0, 0.0]
+
+
+def test_etag_of_tracks_content(sim):
+    warehouse = DataWarehouse(BlobStore(sim))
+    warehouse.put_series("memo/rain", TimeSeries(0, 3600, [1.0, 2.0]))
+    tag = warehouse.etag_of("memo/rain")
+    assert warehouse.etag_of("memo/rain") == tag
+    warehouse.put_series("memo/rain", TimeSeries(0, 3600, [3.0, 4.0]))
+    assert warehouse.etag_of("memo/rain") != tag
+
+
+def test_delete_drops_memo_entry(sim):
+    from repro.cloud.storage import BlobNotFound
+
+    warehouse = DataWarehouse(BlobStore(sim))
+    warehouse.put_series("memo/rain", TimeSeries(0, 3600, [1.0, 2.0]))
+    warehouse.get_series("memo/rain")
+    warehouse.delete("memo/rain")
+    with pytest.raises(BlobNotFound):
+        warehouse.get_series("memo/rain")

@@ -366,3 +366,107 @@ def test_evop_supports_uploaded_dataset_runs():
     evop.run_for(120.0)
     assert reply.value.ok
     assert len(reply.value.body["outputs"]["hydrograph_mm_h"]) == len(series)
+
+
+def test_describe_and_download_carry_etags(sim, network):
+    warehouse = DataWarehouse(BlobStore(sim))
+    catalog = AssetCatalog()
+    instance = make_instance(sim)
+    UploadService(sim, warehouse, catalog).replica(instance).bind(network)
+
+    upload = network.request(instance.address,
+                             HttpRequest("POST", "/uploads",
+                                         body=upload_body()))
+    sim.run()
+    dataset_id = upload.value.body["datasetId"].replace("/", "__")
+
+    describe = network.request(
+        instance.address, HttpRequest("GET", f"/uploads/{dataset_id}"))
+    download = network.request(
+        instance.address, HttpRequest("GET", f"/uploads/{dataset_id}/data"))
+    sim.run()
+    assert describe.value.status == 200
+    assert describe.value.headers["ETag"]
+    assert download.value.status == 200
+    assert download.value.headers["ETag"] == describe.value.headers["ETag"]
+    assert download.value.body["values"][1] == 2.0
+
+
+def test_if_none_match_revalidates_with_304(sim, network):
+    warehouse = DataWarehouse(BlobStore(sim))
+    catalog = AssetCatalog()
+    instance = make_instance(sim)
+    UploadService(sim, warehouse, catalog).replica(instance).bind(network)
+
+    upload = network.request(instance.address,
+                             HttpRequest("POST", "/uploads",
+                                         body=upload_body()))
+    sim.run()
+    dataset_id = upload.value.body["datasetId"].replace("/", "__")
+
+    first = network.request(
+        instance.address, HttpRequest("GET", f"/uploads/{dataset_id}/data"))
+    sim.run()
+    etag = first.value.headers["ETag"]
+
+    # the widget's poll: replaying the etag yields a bodyless 304
+    revalidated = network.request(
+        instance.address,
+        HttpRequest("GET", f"/uploads/{dataset_id}/data",
+                    headers={"If-None-Match": etag}))
+    sim.run()
+    assert revalidated.value.status == 304
+    assert revalidated.value.body is None
+    assert revalidated.value.headers["ETag"] == etag
+
+    # content changed: the stale etag misses and the new body flows
+    body = upload_body(values=[0.0, 9.0, 9.0, 9.0] + [0.1] * 68)
+    network.request(instance.address,
+                    HttpRequest("POST", "/uploads", body=body))
+    sim.run()
+    changed = network.request(
+        instance.address,
+        HttpRequest("GET", f"/uploads/{dataset_id}/data",
+                    headers={"If-None-Match": etag}))
+    sim.run()
+    assert changed.value.status == 200
+    assert changed.value.headers["ETag"] != etag
+    assert changed.value.body["values"][1] == 9.0
+
+
+def test_wps_status_poll_revalidates_with_304(sim, network):
+    wps = make_wps(sim)
+    instance = make_instance(sim)
+    wps.replica(instance).bind(network)
+
+    accepted = network.request(
+        instance.address,
+        HttpRequest("POST", "/wps/processes/topmodel-morland/execute",
+                    body={"inputs": {"duration_hours": 48},
+                          "mode": "async"}))
+    sim.run()           # drain: the async job settles the status document
+    location = accepted.value.body["statusLocation"]
+
+    poll = network.request(instance.address, HttpRequest("GET", location))
+    sim.run()
+    assert poll.value.status == 200
+    assert poll.value.body["status"] == "succeeded"
+    etag = poll.value.headers["ETag"]
+
+    # the poller's next round-trip replays the etag: bodyless 304
+    repoll = network.request(
+        instance.address,
+        HttpRequest("GET", location, headers={"If-None-Match": etag}))
+    sim.run()
+    assert repoll.value.status == 304
+    assert repoll.value.body is None
+    assert repoll.value.headers["ETag"] == etag
+
+    # a stale (or missing) validator still gets the full document
+    stale = network.request(
+        instance.address,
+        HttpRequest("GET", location,
+                    headers={"If-None-Match": "not-the-etag"}))
+    sim.run()
+    assert stale.value.status == 200
+    assert stale.value.body["outputs"]

@@ -288,3 +288,63 @@ def test_scenario_slider_defaults_follow_parameters(wet_params):
     assert params.srmax == 70.0
     # untouched fields inherited from the base
     assert params.q0_mm_h == wet_params.q0_mm_h
+
+
+def test_run_batch_bit_identical_to_individual_runs():
+    model = Topmodel(Topmodel.exponential_ti_distribution())
+    rain = storm_series()
+    params = [TopmodelParameters(m=m, td=td)
+              for m, td in ((8.0, 0.3), (20.0, 1.5), (45.0, 4.0))]
+    batch = model.run_batch(rain, params)
+    for p, batched in zip(params, batch):
+        single = model.run(rain, parameters=p)
+        assert batched.flow.values == single.flow.values
+        assert batched.baseflow.values == single.baseflow.values
+        assert batched.overland.values == single.overland.values
+        assert batched.actual_et.values == single.actual_et.values
+        assert batched.final_deficit_mm == single.final_deficit_mm
+
+
+def test_prepare_sanitises_forcing_once():
+    model = Topmodel(Topmodel.exponential_ti_distribution())
+    rain = TimeSeries(0, 3600, [1.0, math.nan, -2.0, 3.0])
+    forcing = model.prepare(rain)
+    assert forcing.rain == (1.0, 0.0, 0.0, 3.0)
+    assert forcing.pet is None
+    assert forcing.n == 4
+    # prepared runs match the unprepared path on dirty input
+    direct = model.run(rain)
+    prepared = model.run_prepared(forcing)
+    assert prepared.flow.values == direct.flow.values
+
+
+def test_prepare_rejects_mismatched_pet():
+    model = Topmodel(Topmodel.exponential_ti_distribution())
+    rain = storm_series()
+    pet = TimeSeries(0, 3600, [0.1] * (len(rain) - 1))
+    with pytest.raises(ValueError, match="PET"):
+        model.prepare(rain, pet)
+
+
+def test_binned_model_trades_accuracy_for_class_count():
+    full = Topmodel(Topmodel.exponential_ti_distribution(classes=30))
+    coarse = full.binned(6)
+    assert len(coarse.ti) <= 6
+    # area is conserved and the mean TI barely moves
+    assert abs(sum(f for _t, f in coarse.ti) - 1.0) < 1e-9
+    assert abs(coarse.lam - full.lam) < 0.2
+    # the coarse hydrograph tracks the full one within a few percent
+    rain = storm_series()
+    flow_full = full.run(rain).flow.values
+    flow_coarse = coarse.run(rain).flow.values
+    peak = max(flow_full)
+    assert all(abs(a - b) < 0.05 * peak
+               for a, b in zip(flow_full, flow_coarse))
+
+
+def test_binned_noop_when_already_coarse():
+    model = Topmodel(Topmodel.exponential_ti_distribution(classes=5))
+    same = model.binned(10)
+    assert same.ti == model.ti
+    with pytest.raises(ValueError):
+        model.binned(1)

@@ -240,3 +240,64 @@ def test_nested_processes_interleave_deterministically():
     # at t=6.0 worker b's timer was scheduled (at t=3) before worker a's
     # (at t=4), so FIFO tie-breaking runs b first
     assert trace == [(2.0, "a"), (3.0, "b"), (4.0, "a"), (6.0, "b"), (6.0, "a")]
+
+
+def test_cancelled_event_does_not_fire_or_advance_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "keep")
+    handle = sim.schedule(1e9, fired.append, "far-future")
+    handle.cancel()
+    handle.cancel()          # idempotent
+    sim.run()
+    assert fired == ["keep"]
+    assert sim.now == 1.0
+
+
+def test_calendar_compacts_when_cancellations_pile_up():
+    """Regression: a cancel-heavy soak must not grow the calendar without
+    bound — once enough lazily-cancelled entries linger, they are swept."""
+    sim = Simulator()
+    keeper = []
+    sim.schedule(2e9, keeper.append, "anchor")
+    handles = [sim.schedule(1e9 + i, lambda: None)
+               for i in range(Simulator.COMPACT_THRESHOLD + 10)]
+    before = sim.calendar_size
+    for handle in handles:
+        handle.cancel()
+    # the sweep ran inside cancel(), long before the run loop reaches them
+    assert sim.calendar_size < before / 2
+    assert sim.calendar_size <= 10 + 1       # survivors + the anchor
+    sim.run()
+    assert keeper == ["anchor"]
+    assert sim.now == 2e9
+
+
+def test_compaction_preserves_event_order():
+    sim = Simulator()
+    order = []
+    kept = []
+    for i in range(Simulator.COMPACT_THRESHOLD * 2):
+        handle = sim.schedule(10.0 + i, order.append, i)
+        if i % 4 == 0:
+            kept.append(i)
+        else:
+            handle.cancel()
+    sim.run()
+    assert order == kept
+
+
+def test_run_loop_pop_keeps_cancelled_count_consistent():
+    """Cancelled entries popped by the run loop must not be double-counted
+    toward the compaction trigger."""
+    sim = Simulator()
+    fired = []
+    # a few cancelled entries at the front get popped by the run loop...
+    early = [sim.schedule(1.0, fired.append, "early") for _ in range(5)]
+    for handle in early:
+        handle.cancel()
+    sim.schedule(2.0, fired.append, "ok")
+    sim.run()
+    assert fired == ["ok"]
+    assert sim._cancelled == 0
+    assert sim.calendar_size == 0

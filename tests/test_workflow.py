@@ -180,3 +180,39 @@ def test_workflow_of_real_model_runs():
     assert large.outputs["analyse"] > small.outputs["analyse"]
     replay = engine.run(workflow, {"seed": 1, "depth": 90.0})
     assert replay.cache_hits() == 3
+
+
+def test_cache_key_insensitive_to_param_dict_order():
+    calls = []
+    workflow = Workflow("ordered")
+    workflow.add(WorkflowNode(
+        "node",
+        lambda p, u: calls.append(1) or p["a"] + p["b"],
+        params_used=("a", "b")))
+    engine = WorkflowEngine()
+    engine.run(workflow, {"a": 1, "b": 2})
+    # same content, different insertion order: must be a cache hit
+    record = engine.run(workflow, {"b": 2, "a": 1})
+    assert record.cache_hits() == 1
+    assert len(calls) == 1
+
+
+def test_cache_key_unifies_tuple_and_list_params():
+    from repro.workflow.engine import stage_cache_key
+
+    assert stage_cache_key({"params": {"v": (1, 2)}}, "n") \
+        == stage_cache_key({"params": {"v": [1, 2]}}, "n")
+
+
+def test_cache_key_rejects_non_json_params_with_clear_error():
+    from repro.perf import CanonicalisationError
+
+    workflow = Workflow("opaque")
+    workflow.add(WorkflowNode(
+        "node", lambda p, u: None, params_used=("blob",)))
+    with pytest.raises(CanonicalisationError) as err:
+        WorkflowEngine().run(workflow, {"blob": object()})
+    message = str(err.value)
+    assert "'node'" in message
+    assert "blob" in message
+    assert "JSON" in message
