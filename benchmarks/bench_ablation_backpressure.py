@@ -14,6 +14,7 @@ configuration completes more runs with a far lower p95.
 
 from benchmarks.harness import once, print_table
 from repro.core import Evop, EvopConfig
+from repro.resilience.bulkhead import BulkheadGroup
 
 USERS = 25
 
@@ -24,6 +25,13 @@ def run_crowd(bounded: bool):
         sessions_per_replica=3, autoscale_interval=10.0, seed=73,
     )).bootstrap()
     evop.lb.queue_bound_factor = 4 if bounded else None
+    if not bounded:
+        # the naive arm must be naive end to end: the resilience
+        # fabric's client-side admission control is back-pressure too,
+        # so open it wide or the baseline quietly inherits the mechanism
+        # under test
+        evop.resilient.bulkheads = BulkheadGroup(
+            evop.sim, max_in_flight=10**6, max_queue=10**6)
     evop.run_for(300.0)
 
     round_trips = []

@@ -12,11 +12,29 @@ sessions, and measures detection latency, recovery (replacement booted
 and sessions redirected) latency, and whether any session was lost.  The
 baseline is the same crash with no LB watching: sessions point at a dead
 address forever.
+
+The second experiment measures the resilience fabric itself: the same
+fault schedule (crash, then blackhole, then degrade, at fixed times
+against deterministically chosen victims) is replayed against user
+traffic going through the bare ``Network.request`` and through the
+:class:`~repro.resilience.ResilientClient`; the bench reports
+user-visible errors for both, plus the fabric's retry/breaker/shed
+counters and its spans.  Run directly with ``--quick`` for the CI smoke
+variant.
 """
+
+import argparse
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):       # script mode: python benchmarks/bench_...
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from benchmarks.harness import once, print_table, trace_summary
 from repro.core import Evop, EvopConfig
 from repro.obs import obs_of
+from repro.services.client import RestClient
+from repro.services.transport import HttpRequest, HttpResponse
 
 
 def run_fault(kind: str, monitored: bool = True):
@@ -101,6 +119,130 @@ def run_fault(kind: str, monitored: bool = True):
     }
 
 
+# --------------------------------------------- resilient vs bare client
+
+
+def run_client_comparison(protected: bool, horizon: float = 1800.0,
+                          users: int = 6, poll_interval: float = 30.0):
+    """Replay one fault schedule against protected or bare user traffic.
+
+    The schedule is fixed in time and kind; victims are chosen by a
+    deterministic rule (first serving replica), so both arms see the
+    same storm.  Each user polls DescribeProcess through its session's
+    current address; an error is anything that is not a 2xx response.
+    """
+    evop = Evop(EvopConfig(
+        truth_days=4, storm_day=2, private_vcpus=12,
+        sessions_per_replica=4, min_replicas=2,
+        autoscale_interval=10.0, seed=7,
+    )).bootstrap()
+    evop.run_for(400.0)
+    service = evop.lb.service("left-morland")
+    process_id = "topmodel-morland"
+    path = f"/v1/wps/processes/{process_id}"
+
+    sessions = [evop.rb.connect(f"user-{i}", "left-morland")
+                for i in range(users)]
+    evop.run_for(60.0)
+
+    def inject(kind: str):
+        serving = service.serving()
+        if not serving:
+            return
+        victim = serving[0]
+        if kind == "crash":
+            evop.injector.crash(victim)
+        elif kind == "blackhole":
+            evop.injector.blackhole(victim)
+        elif kind == "degrade":
+            evop.injector.degrade(victim, speed_multiplier=1e-6)
+
+    # the identical fault schedule both arms replay
+    schedule = [(120.0, "crash"), (600.0, "blackhole"), (1080.0, "degrade")]
+    for delay, kind in schedule:
+        if delay < horizon:
+            evop.sim.schedule(delay, inject, kind)
+
+    stats = {"requests": 0, "errors": 0}
+
+    def protected_user(session):
+        client = RestClient(evop.sim, evop.network,
+                            lambda: session.instance_address,
+                            resilient=evop.resilient,
+                            trace=session.trace_context)
+        while evop.sim.now < start + horizon:
+            stats["requests"] += 1
+            reply = yield client.describe_process(process_id)
+            if not (isinstance(reply, HttpResponse) and reply.ok):
+                stats["errors"] += 1
+            yield poll_interval
+
+    def bare_user(session):
+        while evop.sim.now < start + horizon:
+            stats["requests"] += 1
+            address = session.instance_address
+            if address is None:
+                stats["errors"] += 1
+            else:
+                reply = yield evop.network.request(
+                    address, HttpRequest("GET", path), timeout=15.0)
+                if not (isinstance(reply, HttpResponse) and reply.ok):
+                    stats["errors"] += 1
+            yield poll_interval
+
+    start = evop.sim.now
+    for session in sessions:
+        evop.sim.spawn(protected_user(session) if protected
+                       else bare_user(session),
+                       name=f"poll.{session.session_id}")
+    evop.run_for(horizon + 300.0)
+
+    tracer = obs_of(evop.sim).tracer
+    tracer.finish_open_spans()
+    return {
+        "requests": stats["requests"],
+        "errors": stats["errors"],
+        "metrics": evop.resilience_metrics.snapshot(),
+        "spans": list(tracer.spans()),
+    }
+
+
+def compare_clients(horizon: float = 1800.0):
+    """Both arms of the comparison plus the printed report."""
+    resilient = run_client_comparison(True, horizon=horizon)
+    bare = run_client_comparison(False, horizon=horizon)
+
+    print_table(
+        "User-visible errors under one fault schedule "
+        "(crash + blackhole + wedge)",
+        ["client", "requests", "user-visible errors"],
+        [["resilient (fabric)", resilient["requests"], resilient["errors"]],
+         ["bare Network.request", bare["requests"], bare["errors"]]])
+
+    interesting = [(k, v) for k, v in sorted(resilient["metrics"].items())
+                   if "." not in k and v]
+    print_table("Resilience fabric counters (protected arm)",
+                ["counter", "value"], interesting)
+    return resilient, bare
+
+
+def test_resilient_client_masks_faults(benchmark):
+    resilient, bare = once(benchmark, compare_clients)
+
+    # the whole point of the fabric: fewer errors reach users under the
+    # identical fault schedule, and the bare client does suffer
+    assert bare["errors"] > 0
+    assert resilient["errors"] < bare["errors"]
+    assert resilient["errors"] == 0
+
+    # the fabric's work is observable: retries happened and are counted,
+    # and every call left a resilience span in the trace store
+    assert resilient["metrics"].get("retries", 0) > 0
+    summary = trace_summary(resilient["spans"],
+                            "Protected arm - per-span latency", min_count=5)
+    assert any(name.startswith("resilience ") for name in summary)
+
+
 def test_failover_all_fault_kinds(benchmark):
     results = once(benchmark, lambda: {
         "crash": run_fault("crash"),
@@ -153,3 +295,35 @@ def test_failover_all_fault_kinds(benchmark):
         "Crash run - per-span latency from distributed traces")
     assert any(name.startswith("rb.session") for name in summary)
     assert "lb.place" in summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="resilient-vs-bare client comparison under faults")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: shorter horizon (crash + blackhole)")
+    args = parser.parse_args(argv)
+
+    horizon = 900.0 if args.quick else 1800.0
+    resilient, bare = compare_clients(horizon=horizon)
+
+    failures = []
+    if bare["errors"] == 0:
+        failures.append("fault schedule produced no bare-client errors; "
+                        "the comparison is vacuous")
+    if resilient["errors"] > bare["errors"]:
+        failures.append(
+            f"resilient client surfaced MORE errors than the bare one "
+            f"({resilient['errors']} vs {bare['errors']})")
+    if resilient["metrics"].get("retries", 0) == 0:
+        failures.append("fabric reported zero retries under faults")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"\nOK: resilient client {resilient['errors']} user-visible "
+              f"errors vs bare {bare['errors']} under the same schedule")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

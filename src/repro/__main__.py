@@ -111,7 +111,8 @@ def run_trace(out_path: str) -> None:
                       - u["scenario"]["peak_mm_h"]},
         depends_on=("baseline", "scenario")))
 
-    engine = CloudWorkflowEngine(evop.sim, evop.network)
+    engine = CloudWorkflowEngine(evop.sim, evop.network,
+                                 client=evop.resilient)
     done = engine.run(workflow, {"scenario": "storage_ponds",
                                  "duration_hours": 96},
                       parent=widget.session.trace_context)

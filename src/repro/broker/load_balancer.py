@@ -44,7 +44,8 @@ class LoadBalancer:
                  registry: Optional[ServiceRegistry] = None,
                  private_location: str = "private",
                  public_location: str = "public",
-                 autoscale_interval: float = 15.0):
+                 autoscale_interval: float = 15.0,
+                 breakers=None):
         self.sim = sim
         self.multicloud = multicloud
         self.network = network
@@ -56,6 +57,9 @@ class LoadBalancer:
         self.private_location = private_location
         self.public_location = public_location
         self.autoscale_interval = autoscale_interval
+        #: shared BreakerRegistry; per-location launch breakers stop the
+        #: LB hammering a provider whose control plane keeps refusing
+        self.breakers = breakers
         #: accept-queue bound per replica, as a multiple of its vCPUs;
         #: None disables back-pressure (the ablation baseline)
         self.queue_bound_factor: Optional[int] = 4
@@ -174,12 +178,23 @@ class LoadBalancer:
         instance: Optional[Instance] = None
         chosen_location: Optional[str] = None
         for location in self.policy.locations(context):
+            breaker = (self.breakers.get(f"launch@{location}")
+                       if self.breakers is not None else None)
+            if breaker is not None and not breaker.allow():
+                self.metrics.counter(f"launch.skipped.{location}").increment()
+                self._log("launch.skipped", service=service.name,
+                          location=location)
+                continue
             try:
                 instance = self.multicloud.compute(location).launch(
                     service.image, service.flavor)
                 chosen_location = location
+                if breaker is not None:
+                    breaker.record_success()
                 break
             except CloudError:
+                if breaker is not None:
+                    breaker.record_failure()
                 continue
         if instance is None:
             self.metrics.counter("scaleup.refused").increment()

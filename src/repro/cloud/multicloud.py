@@ -44,8 +44,19 @@ class MultiCloud:
         self._computes: Dict[str, CloudProvider] = {}
         self._blobstores: Dict[str, BlobStore] = {}
         self._order: List[str] = []
+        self._breakers = None
 
     # -- registration ------------------------------------------------------------
+
+    def attach_resilience(self, breakers) -> None:
+        """Consult a shared BreakerRegistry when provisioning.
+
+        With a registry attached, ``create_node`` skips locations whose
+        ``launch@<location>`` breaker is open and feeds every admission
+        outcome back into it — so a provider whose control plane keeps
+        refusing is rested instead of hammered, deployment-wide.
+        """
+        self._breakers = breakers
 
     def register_compute(self, location: str, provider: CloudProvider) -> None:
         """Attach a compute provider under a location label."""
@@ -92,12 +103,24 @@ class MultiCloud:
             raise CloudError("no compute providers registered")
         last_error: Optional[CloudError] = None
         for location in locations:
+            breaker = (self._breakers.get(f"launch@{location}")
+                       if self._breakers is not None else None)
+            if breaker is not None and not breaker.allow():
+                last_error = CloudError(
+                    f"circuit open for launches at {location!r}")
+                continue
             provider = self.compute(location)
             try:
-                return provider.launch(template.image, template.flavor,
-                                       project=template.project)
+                instance = provider.launch(template.image, template.flavor,
+                                           project=template.project)
             except CloudError as err:
+                if breaker is not None:
+                    breaker.record_failure()
                 last_error = err
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return instance
         assert last_error is not None
         raise last_error
 

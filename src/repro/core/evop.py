@@ -47,10 +47,13 @@ from repro.modellib.processes import (
     make_water_quality_process,
 )
 from repro.portal.left import LeftTool
+from repro.portal.widgets import WIDGET_RETRY
+from repro.resilience import ResilientClient
+from repro.resilience.client import observed_breakers
 from repro.services.channels import PushGateway
 from repro.services.registry import ServiceRegistry
 from repro.services.transport import Network
-from repro.sim import RandomStreams, Simulator
+from repro.sim import MetricsRegistry, RandomStreams, Simulator
 
 _POLICIES: Dict[str, type] = {
     "private-first": PrivateFirstPolicy,
@@ -100,6 +103,21 @@ class Evop:
         self.network = Network(self.sim, streams=self.streams)
         self.registry = ServiceRegistry()
 
+        # resilience fabric: one breaker registry and one client shared
+        # by every consumer, so a tripped service×location is respected
+        # deployment-wide, not per-widget
+        self.resilience_metrics = MetricsRegistry(self.sim,
+                                                  namespace="resilience")
+        self.breakers = observed_breakers(self.sim,
+                                          metrics=self.resilience_metrics)
+        # widget-grade patience by default: portal sessions would rather
+        # wait out provisioning than surface an error page; tighter
+        # per-call timeouts/deadlines still apply where callers set them
+        self.resilient = ResilientClient(
+            self.sim, self.network, service="wps", policy=WIDGET_RETRY,
+            streams=self.streams, breakers=self.breakers,
+            metrics=self.resilience_metrics)
+
         # model library
         self.images = ImageStore()
         self.library = ModelLibrary(self.images)
@@ -117,7 +135,9 @@ class Evop:
         self.lb = LoadBalancer(
             self.sim, self.multicloud, self.network, self.sessions,
             self.policy, monitor=self.monitor, registry=self.registry,
-            autoscale_interval=self.config.autoscale_interval)
+            autoscale_interval=self.config.autoscale_interval,
+            breakers=self.breakers)
+        self.multicloud.attach_resilience(self.breakers)
         self.injector = FaultInjector(self.sim, [self.private, self.public],
                                       streams=self.streams)
 
@@ -259,7 +279,7 @@ class Evop:
         assert self.rb is not None
         tool = LeftTool(self.sim, catchment, self.catalog, self.network,
                         self.rb, self.service_name(catchment.name),
-                        streams=self.streams)
+                        streams=self.streams, resilient=self.resilient)
         tool.deploy_sensors(
             river_level_truth=lookup(level),
             rainfall_truth=lookup(rain),

@@ -33,13 +33,17 @@ class LeftTool:
     def __init__(self, sim: Simulator, catchment: Catchment,
                  catalog: AssetCatalog, network: Network,
                  broker: ResourceBroker, service_name: str,
-                 streams: Optional[RandomStreams] = None):
+                 streams: Optional[RandomStreams] = None,
+                 resilient=None):
         self.sim = sim
         self.catchment = catchment
         self.catalog = catalog
         self.network = network
         self.broker = broker
         self.service_name = service_name
+        # the shared resilience fabric (breakers, bulkheads, counters);
+        # widgets fall back to a private one when none is supplied
+        self.resilient = resilient
         self.streams = streams or RandomStreams()
         self.sensors = SensorNetwork(sim, streams=self.streams)
         self.webcam = WebcamArchive(
@@ -164,4 +168,5 @@ class LeftTool:
             session=session,
             process_id=f"{model}-{self.catchment.name}",
             flood_threshold_mm_h=self.catchment.flood_threshold_mm_h,
+            resilient=self.resilient,
         )

@@ -19,6 +19,7 @@ from repro.cloud.instance import Instance
 from repro.data.catalog import AssetCatalog, AssetOrigin
 from repro.data.warehouse import DataWarehouse
 from repro.hydrology.timeseries import TimeSeries
+from repro.services.envelope import problem
 from repro.services.rest import RestApi, RestCacheable, RestServer
 from repro.services.transport import HttpRequest
 from repro.sim import Simulator
@@ -35,8 +36,9 @@ class UploadService:
         self.policy = policy    # optional AccessPolicy for restricted data
         self.api = RestApi("uploads")
         self.api.post("/uploads", self._upload, cost=0.02)
-        self.api.get("/uploads/{dataset_id}", self._describe)
-        self.api.get("/uploads/{dataset_id}/data", self._download)
+        self.api.get("/uploads/{dataset_id}", self._describe, cacheable=True)
+        self.api.get("/uploads/{dataset_id}/data", self._download,
+                     cacheable=True)
 
     def replica(self, instance: Instance) -> RestServer:
         """Create a server replica on ``instance``."""
@@ -46,9 +48,9 @@ class UploadService:
 
     def _upload(self, request: HttpRequest, params: Dict[str, str]):
         body = request.body or {}
-        problem = self._validate(body)
-        if problem:
-            return 400, {"error": problem}
+        fault = self._validate(body)
+        if fault:
+            return 400, problem(400, "invalid upload", fault, retryable=False)
         dataset_id = f"user/{body['owner']}/{body['name']}"
         series = TimeSeries(float(body.get("start", 0.0)),
                             float(body["dt"]),
@@ -78,7 +80,8 @@ class UploadService:
         # path params cannot contain '/', so ids arrive URL-style encoded
         dataset_id = params["dataset_id"].replace("__", "/")
         if not self.warehouse.exists(dataset_id):
-            return 404, {"error": f"no dataset {dataset_id!r}"}
+            return 404, problem(404, "no such dataset",
+                                f"no dataset {dataset_id!r}", retryable=False)
         return RestCacheable(body=self.warehouse.describe(dataset_id),
                              etag=self.warehouse.etag_of(dataset_id))
 
@@ -91,14 +94,16 @@ class UploadService:
         """
         dataset_id = params["dataset_id"].replace("__", "/")
         if not self.warehouse.exists(dataset_id):
-            return 404, {"error": f"no dataset {dataset_id!r}"}
+            return 404, problem(404, "no such dataset",
+                                f"no dataset {dataset_id!r}", retryable=False)
         principal = request.headers.get("X-Principal")
         if self.policy is not None:
             from repro.data.access import AccessDenied
             try:
                 self.policy.check(dataset_id, principal)
             except AccessDenied as err:
-                return 403, {"error": str(err)}
+                return 403, problem(403, "access denied", str(err),
+                                    retryable=False)
         series = self.warehouse.get_series(dataset_id)
         return RestCacheable(
             body={

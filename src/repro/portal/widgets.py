@@ -26,11 +26,12 @@ from repro.broker.sessions import UserSession
 from repro.data.sensors import Sensor
 from repro.data.webcam import WebcamArchive, WebcamFrame
 from repro.hydrology.scenarios import STANDARD_SCENARIOS
-from repro.obs.context import inject_context
 from repro.hydrology.timeseries import TimeSeries
 from repro.portal.render import ChartSpec, Series
+from repro.resilience import ResilientClient, RetryPolicy
+from repro.services.client import RestClient
 from repro.services.sos import Observation
-from repro.services.transport import HttpRequest, HttpResponse, Network
+from repro.services.transport import HttpResponse, Network
 from repro.sim import Signal, Simulator
 
 
@@ -197,13 +198,33 @@ HELP_TEXT = (
 )
 
 
+#: How patient the widget is overall: sessions queue for replicas during
+#: flash crowds and public instances take minutes to boot, so the widget
+#: waits out provisioning rather than surfacing an error to the user.
+WIDGET_DEADLINE = 3600.0
+
+#: Widget-side retry policy — generous, because the user's alternative
+#: is a spinner followed by an error page.  Jittered exponential backoff
+#: spreads stampeding retries; ``attempt_timeout`` is overridden per
+#: call by ``request_timeout`` (long model runs need long waits).
+WIDGET_RETRY = RetryPolicy(max_attempts=10, base_delay=4.0, max_delay=60.0,
+                           deadline=WIDGET_DEADLINE)
+
+
 class ModellingWidget:
-    """The LEFT modelling widget (Figure 6)."""
+    """The LEFT modelling widget (Figure 6).
+
+    All traffic goes through the typed v1 :class:`RestClient` — the
+    widget no longer hand-rolls retry loops; the resilience fabric
+    (retry/backoff, breakers, admission, address-waiting) masks
+    migrations, crashes and overload from the user.
+    """
 
     def __init__(self, sim: Simulator, network: Network,
                  session: UserSession, process_id: str,
                  flood_threshold_mm_h: float = 2.0,
-                 request_timeout: float = 120.0):
+                 request_timeout: float = 120.0,
+                 resilient: Optional[ResilientClient] = None):
         self.sim = sim
         self.network = network
         self.session = session
@@ -214,6 +235,14 @@ class ModellingWidget:
         self.sliders: Dict[str, SliderSpec] = {}
         self.runs: List[ModelRun] = []
         self.errors: List[str] = []
+        if resilient is None:
+            resilient = ResilientClient(sim, network, service="wps",
+                                        policy=WIDGET_RETRY)
+        # the address is a callable: every retry re-reads the session's
+        # assignment, so broker-driven migrations are followed for free
+        self.client = RestClient(
+            sim, network, lambda: self.session.instance_address,
+            resilient=resilient, deadline=WIDGET_DEADLINE)
 
     # -- widget chrome -----------------------------------------------------------
 
@@ -232,16 +261,12 @@ class ModellingWidget:
         Returns a signal fired with True on success.
         """
         done = self.sim.signal("widget.load")
+        self.client.trace = self.session.trace_context
 
         def loader():
-            response = None
-            for attempt in range(6):
-                response = yield self._request(
-                    HttpRequest("GET", f"/wps/processes/{self.process_id}"))
-                if isinstance(response, HttpResponse) and response.ok:
-                    break
-                yield 5.0 + 10.0 * attempt  # overload/migration: retry
-            if not isinstance(response, HttpResponse) or not response.ok:
+            response = yield self.client.describe_process(
+                self.process_id)
+            if not (isinstance(response, HttpResponse) and response.ok):
                 self.errors.append(f"load failed: {response!r}")
                 done.fire(False)
                 return
@@ -287,6 +312,7 @@ class ModellingWidget:
         migration/instance-replacement window.
         """
         done = self.sim.signal("widget.run")
+        self.client.trace = self.session.trace_context
         inputs: Dict[str, Any] = {"scenario": self.scenario}
         for name, slider in self.sliders.items():
             if slider.value is not None:
@@ -295,35 +321,11 @@ class ModellingWidget:
         requested_at = self.sim.now
 
         def runner():
-            request = HttpRequest(
-                "POST", f"/wps/processes/{self.process_id}/execute",
-                body={"inputs": inputs})
-            response = None
-            for attempt in range(8):
-                # a migration or replacement may leave the session briefly
-                # unassigned; wait for the RB's push before (re)sending
-                waited = 0.0
-                while self.session.instance_address is None and waited < 600.0:
-                    yield 5.0
-                    waited += 5.0
-                if self.session.instance_address is None:
-                    break
-                response = yield self._request(request)
-                if isinstance(response, HttpResponse) and response.ok:
-                    break
-                if isinstance(response, HttpResponse) and response.status == 503:
-                    # overloaded: jittered exponential backoff so retrying
-                    # clients don't stampede the next replica in lockstep
-                    # (stable arithmetic jitter, not hash(): PYTHONHASHSEED
-                    # randomisation would break run-to-run determinism)
-                    seq = int("".join(c for c in self.session.session_id
-                                      if c.isdigit()) or "0")
-                    base = min(60.0, 8.0 * (2 ** attempt))
-                    jitter = ((seq * 2654435761 + attempt * 40503)
-                              % 1000) / 1000.0
-                    yield base * (0.5 + jitter)
-                else:
-                    yield 2.0   # brief backoff, then follow the new address
+            # address waits (a migration or replacement may leave the
+            # session briefly unassigned), 503 backoff and crash retries
+            # all live in the resilience fabric now
+            response = yield self.client.execute_wps(
+                self.process_id, inputs, timeout=self.request_timeout)
             if not (isinstance(response, HttpResponse) and response.ok):
                 self.errors.append(f"run failed: {response!r}")
                 done.fire(None)
@@ -351,6 +353,7 @@ class ModellingWidget:
         status lives in shared storage, not on the accepting server.
         """
         done = self.sim.signal("widget.run_async")
+        self.client.trace = self.session.trace_context
         inputs: Dict[str, Any] = {"scenario": self.scenario}
         for name, slider in self.sliders.items():
             if slider.value is not None:
@@ -359,9 +362,9 @@ class ModellingWidget:
         requested_at = self.sim.now
 
         def runner():
-            accept = yield self._request(HttpRequest(
-                "POST", f"/wps/processes/{self.process_id}/execute",
-                body={"inputs": inputs, "mode": "async"}))
+            accept = yield self.client.execute_wps(
+                self.process_id, inputs, mode="async",
+                timeout=self.request_timeout)
             if not (isinstance(accept, HttpResponse)
                     and accept.status == 202):
                 self.errors.append(f"async accept failed: {accept!r}")
@@ -371,7 +374,7 @@ class ModellingWidget:
             deadline = self.sim.now + max_wait
             while self.sim.now < deadline:
                 yield poll_interval
-                status = yield self._request(HttpRequest("GET", location))
+                status = yield self.client.poll_status(location)
                 if not (isinstance(status, HttpResponse) and status.ok):
                     continue  # a migration blip; keep polling
                 state = status.body["status"]
@@ -396,17 +399,6 @@ class ModellingWidget:
 
         self.sim.spawn(runner(), name="widget.run_async")
         return done
-
-    def _request(self, request: HttpRequest) -> Signal:
-        address = self.session.instance_address
-        if address is None:
-            failed = self.sim.signal("widget.no-instance")
-            failed.fire(None)
-            return failed
-        # carry the session's trace so server-side spans join the journey
-        inject_context(self.session.trace_context, request.headers)
-        return self.network.request(address, request,
-                                    timeout=self.request_timeout)
 
     # -- output ------------------------------------------------------------------------
 

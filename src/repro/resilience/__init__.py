@@ -1,0 +1,40 @@
+"""Client-side fault handling: retries, breakers, admission, hedging.
+
+The paper's broker "masks transient cloud failures from the portal
+user"; detection alone (health heuristics, fault injection) cannot do
+that — callers need policy for what to do *about* a failure.  This
+package is that policy, hung off one entry point:
+
+* :class:`~repro.resilience.policy.RetryPolicy` — exponential backoff
+  with deterministic jitter, attempt/overall deadline budgets, and
+  idempotency awareness (only safe/replayable requests retry on
+  ambiguous failures);
+* :class:`~repro.resilience.breaker.CircuitBreaker` — per
+  service×location closed/open/half-open state over a failure-rate
+  window, so a flapping location stops receiving traffic it will drop;
+* :class:`~repro.resilience.bulkhead.Bulkhead` — bounded in-flight per
+  target with a small wait queue; overflow is shed immediately as a
+  retryable 429 instead of queueing into collapse;
+* :class:`~repro.resilience.client.ResilientClient` — wraps
+  :meth:`~repro.services.transport.Network.request` with all of the
+  above plus hedged requests for safe routes.
+
+Every retry, trip, shed and hedge emits ``repro.obs`` events and
+metrics counters, so benches can show the before/after under an
+identical fault schedule.
+"""
+
+from repro.resilience.breaker import BreakerOpen, BreakerRegistry, CircuitBreaker
+from repro.resilience.bulkhead import Bulkhead, Ticket
+from repro.resilience.client import ResilientClient
+from repro.resilience.policy import RetryPolicy
+
+__all__ = [
+    "BreakerOpen",
+    "BreakerRegistry",
+    "Bulkhead",
+    "CircuitBreaker",
+    "ResilientClient",
+    "RetryPolicy",
+    "Ticket",
+]

@@ -1,0 +1,88 @@
+"""Retry policy: when to try again, and how long to wait.
+
+Three questions, answered in one place:
+
+* *Is a retry permitted?* — :meth:`RetryPolicy.should_retry` classifies
+  transport outcomes.  A :class:`ConnectionRefused` never reached the
+  server, so it is always replayable.  A :class:`RequestTimeout` is
+  ambiguous — the server may have done the work — so only requests the
+  caller declared *safe* (GET, or replayable executes) retry on it.  An
+  :class:`HttpResponse` defers to the problem document: a body-level
+  ``retryable: true`` is an explicit server promise that replaying is
+  harmless (e.g. the request was shed before any work happened), and it
+  overrides the idempotency rule; without the flag, only safe requests
+  retry on the transient status classes.
+* *How long to wait?* — :meth:`RetryPolicy.backoff` is exponential with
+  *full jitter* drawn from a named :class:`~repro.sim.rng.RandomStreams`
+  stream, so concurrent clients decorrelate without losing determinism
+  across runs.
+* *When to give up?* — ``max_attempts`` bounds tries and ``deadline``
+  bounds wall-clock; whichever is hit first ends the call.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.services.envelope import RETRYABLE_STATUSES, retryable_from_body
+from repro.services.transport import (
+    ConnectionRefused,
+    HttpResponse,
+    RequestTimeout,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule and retry classification for one client."""
+
+    #: Total tries, the first included.
+    max_attempts: int = 4
+    #: First backoff ceiling, seconds; doubles each retry.
+    base_delay: float = 0.5
+    #: Upper bound on any single backoff, seconds.
+    max_delay: float = 30.0
+    #: Geometric growth factor between retries.
+    multiplier: float = 2.0
+    #: Overall wall-clock budget for the whole call, seconds.
+    deadline: float = 180.0
+    #: Per-attempt transport timeout, seconds.
+    attempt_timeout: float = 30.0
+
+    def backoff(self, retry_index: int, rng: random.Random) -> float:
+        """Delay before retry ``retry_index`` (0 = first retry).
+
+        Full jitter: uniform in ``[0, ceiling]`` where the ceiling grows
+        geometrically.  Jitter over the whole interval (rather than a
+        +/- band) is what breaks up retry synchronisation when a burst
+        of clients fails at the same instant.
+        """
+        ceiling = min(self.max_delay,
+                      self.base_delay * (self.multiplier ** retry_index))
+        return rng.uniform(0.0, ceiling)
+
+    def schedule(self, rng: random.Random) -> List[float]:
+        """The full backoff schedule this policy would draw from ``rng``."""
+        return [self.backoff(i, rng) for i in range(self.max_attempts - 1)]
+
+    def should_retry(self, outcome: Any, safe: bool) -> bool:
+        """Whether ``outcome`` warrants another attempt of this request."""
+        if isinstance(outcome, ConnectionRefused):
+            # the connection was refused: no server ever saw the request
+            return True
+        if isinstance(outcome, RequestTimeout):
+            # ambiguous — the work may have happened; replay only if safe
+            return safe
+        if isinstance(outcome, HttpResponse):
+            if outcome.ok:
+                return False
+            verdict = retryable_from_body(outcome.body)
+            if verdict is not None:
+                # an explicit server verdict overrides the idempotency
+                # rule: retryable=True promises the request was not acted
+                # on (shed, overloaded), retryable=False is permanent
+                return verdict
+            return safe and outcome.status in RETRYABLE_STATUSES
+        return False

@@ -16,8 +16,14 @@ reproduces that fabric over the simulated network:
 * :mod:`repro.services.channels` — HTML5-WebSocket-style duplex push and
   the periodic-polling baseline.
 * :mod:`repro.services.registry` — the service catalogue.
+* :mod:`repro.services.envelope` — the one RFC-7807-style problem
+  document every error body is built from.
+* :mod:`repro.services.client` — the typed v1 client every consumer
+  goes through (resilient, revalidating).
 """
 
+from repro.services.client import RestClient
+from repro.services.envelope import problem
 from repro.services.transport import (
     ConnectionRefused,
     HttpRequest,
@@ -71,9 +77,11 @@ __all__ = [
     "RequestTimeout",
     "RestApi",
     "RestBackground",
+    "RestClient",
     "RestDeferred",
     "RestServer",
     "Route",
+    "problem",
     "SensorDescription",
     "ServiceRecord",
     "ServiceRegistry",

@@ -1,0 +1,174 @@
+"""Typed client for the v1 service API.
+
+Every consumer of the portal/WPS/SOS services used to hand-build
+:class:`~repro.services.transport.HttpRequest` objects — each call site
+re-inventing paths, retry loops and ``If-None-Match`` bookkeeping.
+:class:`RestClient` is the one place that knows the v1 contract: a
+per-resource method for each route, the canonical ``/v1`` paths, and a
+built-in revalidation cache (a 304 is transparently replaced by the
+cached representation, so callers always see a full response).
+
+All traffic flows through a :class:`~repro.resilience.client.ResilientClient`,
+which is where retry, breaker, admission and hedging policy live — a
+call site states *what* it wants and how urgent it is (``timeout`` /
+``deadline``), never *how* to survive a fault.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from repro.resilience.client import ResilientClient
+from repro.services.transport import HttpRequest, HttpResponse, Network
+from repro.sim import Signal, Simulator
+
+AddressLike = Union[str, Callable[[], Optional[str]]]
+
+
+def encode_dataset_id(dataset_id: str) -> str:
+    """Path-encode a dataset id (path params cannot contain ``/``)."""
+    return dataset_id.replace("/", "__")
+
+
+class RestClient:
+    """Per-resource methods over the v1 API, resilient by construction."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 address: AddressLike, *,
+                 resilient: Optional[ResilientClient] = None,
+                 service: str = "rest",
+                 trace: Any = None,
+                 timeout: Optional[float] = None,
+                 deadline: Optional[float] = None):
+        self.sim = sim
+        self.address = address
+        self.trace = trace
+        self.timeout = timeout
+        self.deadline = deadline
+        self.resilient = resilient or ResilientClient(sim, network,
+                                                      service=service)
+        self._etag_cache: Dict[str, Tuple[str, Any]] = {}
+        self.revalidated_hits = 0
+
+    # -- generic entry point -----------------------------------------------
+
+    def request(self, method: str, path: str, *, body: Any = None,
+                query: Optional[Dict[str, str]] = None,
+                headers: Optional[Dict[str, str]] = None,
+                safe: Optional[bool] = None,
+                timeout: Optional[float] = None,
+                deadline: Optional[float] = None) -> Signal:
+        """Issue one v1 request; the signal always gets a response.
+
+        GETs to previously seen resources carry ``If-None-Match``; a 304
+        answer is replaced with the cached representation before the
+        caller sees it.
+        """
+        request_headers = dict(headers or {})
+        cached = self._etag_cache.get(path) if method == "GET" else None
+        if cached is not None:
+            request_headers.setdefault("If-None-Match", cached[0])
+        raw = self.resilient.call(
+            self.address,
+            HttpRequest(method, path, body=body, query=dict(query or {}),
+                        headers=request_headers),
+            safe=safe, trace=self.trace,
+            timeout=timeout if timeout is not None else self.timeout,
+            deadline=deadline if deadline is not None else self.deadline)
+        done = self.sim.signal(f"client.{method}.{path}")
+
+        def translate():
+            response = yield raw
+            done.fire(self._revalidate(path, response))
+
+        self.sim.spawn(translate(), name=f"client.request.{path}")
+        return done
+
+    def _revalidate(self, path: str, response: HttpResponse) -> HttpResponse:
+        cached = self._etag_cache.get(path)
+        if response.status == 304 and cached is not None:
+            self.revalidated_hits += 1
+            headers = dict(response.headers)
+            headers["X-Revalidated"] = "true"
+            return HttpResponse(status=200, body=cached[1], headers=headers)
+        etag = response.headers.get("ETag")
+        if etag and response.ok:
+            self._etag_cache[path] = (etag, response.body)
+        return response
+
+    # -- API description ----------------------------------------------------
+
+    def describe_api(self) -> Signal:
+        """``GET /v1`` — the machine-readable route table."""
+        return self.request("GET", "/v1")
+
+    # -- datasets (upload service) ------------------------------------------
+
+    def upload_dataset(self, document: Dict[str, Any]) -> Signal:
+        """``POST /v1/uploads`` — publish a user-provided series."""
+        return self.request("POST", "/v1/uploads", body=document, safe=False)
+
+    def describe_dataset(self, dataset_id: str) -> Signal:
+        """``GET /v1/uploads/{id}`` — dataset metadata (revalidated)."""
+        return self.request(
+            "GET", f"/v1/uploads/{encode_dataset_id(dataset_id)}")
+
+    def download_dataset(self, dataset_id: str,
+                         principal: Optional[str] = None) -> Signal:
+        """``GET /v1/uploads/{id}/data`` — the raw series, ACL-checked."""
+        headers = {"X-Principal": principal} if principal else None
+        return self.request(
+            "GET", f"/v1/uploads/{encode_dataset_id(dataset_id)}/data",
+            headers=headers)
+
+    # -- WPS ----------------------------------------------------------------
+
+    def wps_capabilities(self) -> Signal:
+        """``GET /v1/wps`` — published processes."""
+        return self.request("GET", "/v1/wps")
+
+    def describe_process(self, identifier: str) -> Signal:
+        """``GET /v1/wps/processes/{id}`` — the DescribeProcess document."""
+        return self.request("GET", f"/v1/wps/processes/{identifier}")
+
+    def execute_wps(self, identifier: str, inputs: Dict[str, Any],
+                    mode: str = "sync",
+                    timeout: Optional[float] = None,
+                    deadline: Optional[float] = None) -> Signal:
+        """``POST /v1/wps/processes/{id}/execute``.
+
+        Declared safe: model execution is deterministic and records no
+        per-request server state, so replaying a lost Execute is
+        harmless — which is exactly what lets retries mask a mid-run
+        instance crash.
+        """
+        return self.request(
+            "POST", f"/v1/wps/processes/{identifier}/execute",
+            body={"mode": mode, "inputs": inputs}, safe=True,
+            timeout=timeout, deadline=deadline)
+
+    def poll_status(self, status_location: str) -> Signal:
+        """``GET <statusLocation>`` — poll an async execution."""
+        return self.request("GET", status_location)
+
+    # -- SOS ----------------------------------------------------------------
+
+    def sos_capabilities(self) -> Signal:
+        """``GET /v1/sos`` — offerings."""
+        return self.request("GET", "/v1/sos")
+
+    def describe_sensor(self, procedure_id: str) -> Signal:
+        """``GET /v1/sos/sensors/{id}`` — the DescribeSensor document."""
+        return self.request("GET", f"/v1/sos/sensors/{procedure_id}")
+
+    def get_observations(self, procedure_id: str,
+                         begin: Optional[float] = None,
+                         end: Optional[float] = None) -> Signal:
+        """``GET /v1/sos/observations/{id}`` with a temporal filter."""
+        query: Dict[str, str] = {}
+        if begin is not None:
+            query["begin"] = str(begin)
+        if end is not None:
+            query["end"] = str(end)
+        return self.request("GET", f"/v1/sos/observations/{procedure_id}",
+                            query=query)

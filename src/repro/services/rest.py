@@ -14,32 +14,57 @@ A :class:`RestApi` is a route table shared by every replica; a
 :class:`RestServer` binds the api to one hosting instance, charging each
 request's processing cost as a job on that instance (so CPU utilisation
 and queueing reflect request load, which the LB observes).
+
+The route table is **versioned**: every registered pattern is mounted
+canonically under ``/v1`` and, for compatibility, at its original
+unversioned path as a *deprecation shim* — same handler, same cost, but
+responses carry a ``Deprecation`` header and a ``Link`` to the successor
+route.  ``GET /v1`` answers with a machine-readable description of the
+table (method, path, cost, safety, cacheability) — the contract a typed
+client or a substitutable execution node programs against.  All error
+bodies are RFC-7807-style problem documents (:mod:`.envelope`) whose
+``retryable`` field feeds the client-side retry decision.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cloud.instance import Instance, Job
 from repro.obs.context import extract_context
 from repro.obs.hub import obs_of
 from repro.obs.tracer import Span
+from repro.services.envelope import problem
 from repro.services.transport import HttpRequest, HttpResponse, Network
 from repro.sim import Signal, Simulator
 
 #: Default CPU cost (reference-core seconds) of a lightweight handler.
 DEFAULT_HANDLER_COST = 0.005
 
+#: The current (and only) API version routes are mounted under.
+API_VERSION = "v1"
+
 
 class HttpError(Exception):
-    """Raise inside a handler to produce a non-200 response."""
+    """Raise inside a handler to produce a non-200 response.
 
-    def __init__(self, status: int, message: str):
+    ``retryable`` flows into the problem-document body so clients know
+    whether backing off and replaying the identical request can help;
+    ``None`` defers to the status-class default.
+    """
+
+    def __init__(self, status: int, message: str,
+                 retryable: Optional[bool] = None):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.retryable = retryable
+
+    def to_problem(self) -> Dict[str, Any]:
+        """The problem document for this error."""
+        return problem(self.status, self.message, retryable=self.retryable)
 
 
 @dataclass
@@ -49,15 +74,25 @@ class Route:
     Patterns use ``{name}`` placeholders: ``/datasets/{dataset_id}``.
     ``cost`` is the CPU charge of running the handler; handlers that do
     real modelling work instead return a :class:`RestDeferred` carrying
-    their own job.
+    their own job.  ``safe`` declares the handler side-effect-free /
+    replayable (defaults to ``True`` for GET); ``cacheable`` declares
+    that responses carry an ``ETag`` worth revalidating.  Shim routes
+    (``deprecated=True``) answer with a ``Deprecation`` header naming
+    their ``successor``.
     """
 
     method: str
     pattern: str
     handler: Callable[[HttpRequest, Dict[str, str]], Any]
     cost: float = DEFAULT_HANDLER_COST
+    safe: Optional[bool] = None
+    cacheable: bool = False
+    deprecated: bool = False
+    successor: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.safe is None:
+            self.safe = self.method == "GET"
         regex = re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", self.pattern)
         self._compiled = re.compile(f"^{regex}$")
 
@@ -115,25 +150,45 @@ class RestBackground:
 
 
 class RestApi:
-    """A route table; stateless by construction (no per-client storage)."""
+    """A versioned route table; stateless by construction.
+
+    Registering ``GET /datasets`` mounts the canonical route at
+    ``/v1/datasets`` *and* an unversioned deprecation shim at
+    ``/datasets``; ``GET /v1`` describes the canonical table.
+    """
 
     def __init__(self, name: str):
         self.name = name
         self._routes: List[Route] = []
+        self._canonical: List[Route] = []
+        describe = Route("GET", f"/{API_VERSION}", self._describe_api)
+        self._routes.append(describe)
+        self._canonical.append(describe)
 
     def route(self, method: str, pattern: str,
               handler: Callable[[HttpRequest, Dict[str, str]], Any],
-              cost: float = DEFAULT_HANDLER_COST) -> None:
-        """Register ``handler`` for ``method pattern``."""
-        self._routes.append(Route(method, pattern, handler, cost))
+              cost: float = DEFAULT_HANDLER_COST,
+              safe: Optional[bool] = None, cacheable: bool = False) -> None:
+        """Register ``handler`` for ``method pattern`` (v1 + legacy shim)."""
+        canonical = Route(method, f"/{API_VERSION}{pattern}", handler,
+                          cost, safe=safe, cacheable=cacheable)
+        shim = Route(method, pattern, handler, cost, safe=safe,
+                     cacheable=cacheable, deprecated=True,
+                     successor=canonical.pattern)
+        self._routes.extend((canonical, shim))
+        self._canonical.append(canonical)
 
-    def get(self, pattern: str, handler, cost: float = DEFAULT_HANDLER_COST) -> None:
+    def get(self, pattern: str, handler, cost: float = DEFAULT_HANDLER_COST,
+            safe: Optional[bool] = None, cacheable: bool = False) -> None:
         """Register a GET route."""
-        self.route("GET", pattern, handler, cost)
+        self.route("GET", pattern, handler, cost, safe=safe,
+                   cacheable=cacheable)
 
-    def post(self, pattern: str, handler, cost: float = DEFAULT_HANDLER_COST) -> None:
+    def post(self, pattern: str, handler, cost: float = DEFAULT_HANDLER_COST,
+             safe: Optional[bool] = None, cacheable: bool = False) -> None:
         """Register a POST route."""
-        self.route("POST", pattern, handler, cost)
+        self.route("POST", pattern, handler, cost, safe=safe,
+                   cacheable=cacheable)
 
     def resolve(self, request: HttpRequest) -> Tuple[Optional[Route], Dict[str, str]]:
         """Find the route matching ``request`` (first match wins)."""
@@ -147,6 +202,26 @@ class RestApi:
     def routes(self) -> List[Route]:
         """The registered routes, in registration order."""
         return list(self._routes)
+
+    def describe(self) -> Dict[str, Any]:
+        """The machine-readable contract of the canonical (v1) table."""
+        return {
+            "service": self.name,
+            "version": API_VERSION,
+            "routes": [
+                {
+                    "method": route.method,
+                    "path": route.pattern,
+                    "cost": route.cost,
+                    "safe": bool(route.safe),
+                    "cacheable": route.cacheable,
+                }
+                for route in self._canonical
+            ],
+        }
+
+    def _describe_api(self, request: HttpRequest, params: Dict[str, str]):
+        return self.describe()
 
 
 class RestServer:
@@ -184,7 +259,10 @@ class RestServer:
                 attributes={"instance": self.instance.instance_id})
         if route is None:
             self._finish(done, HttpResponse(
-                status=404, body={"error": f"no route {request.method} {request.path}"}),
+                status=404,
+                body=problem(404, "no route",
+                             f"no route {request.method} {request.path}",
+                             retryable=False)),
                 span)
             return done
         job = Job(cost=route.cost, name=f"rest:{request.method}:{route.pattern}",
@@ -198,10 +276,10 @@ class RestServer:
             self.requests_handled += 1
             if not outcome.succeeded:
                 if outcome.error == "queue full":
-                    self._finish(done, HttpResponse(
-                        status=503, body={"error": "server overloaded"}), span)
+                    self._finish(done, self._overloaded(), span, route)
                 elif outcome.error and outcome.error.startswith("job raised"):
-                    self._finish(done, self._error_response(outcome.error), span)
+                    self._finish(done, self._error_response(outcome.error),
+                                 span, route)
                 elif span is not None:
                     # instance died: the response never leaves; the caller
                     # times out, and the server span records why
@@ -218,41 +296,49 @@ class RestServer:
                     deferred = yield deferred_signal
                     if not deferred.succeeded:
                         if deferred.error == "queue full":
-                            self._finish(done, HttpResponse(
-                                status=503, body={"error": "server overloaded"}),
-                                span)
+                            self._finish(done, self._overloaded(), span, route)
                         elif deferred.error and deferred.error.startswith("job raised"):
-                            self._finish(done, HttpResponse(
-                                status=500, body={"error": deferred.error}), span)
+                            self._finish(done, self._error_response(
+                                deferred.error), span, route)
                         elif span is not None:
                             span.finish(error=deferred.error or "instance lost")
                         return
                     status, body = result.render(deferred.value)
                     self._finish(done, HttpResponse(status=status, body=body),
-                                 span)
+                                 span, route)
 
                 self.sim.spawn(deferred_waiter(), name="rest.deferred")
             elif isinstance(result, RestCacheable):
-                self._finish(done, self._revalidate(request, result), span)
+                self._finish(done, self._revalidate(request, result), span,
+                             route)
             elif isinstance(result, RestBackground):
                 background_job = result.job
                 if span is not None and background_job.trace is None:
                     background_job.trace = span.context
                 self.instance.submit(background_job)
                 self._finish(done, HttpResponse(status=result.status,
-                                                body=result.body), span)
+                                                body=result.body), span, route)
             else:
                 status, body = self._coerce(result)
-                self._finish(done, HttpResponse(status=status, body=body), span)
+                self._finish(done, HttpResponse(status=status, body=body),
+                             span, route)
 
         self.sim.spawn(waiter(), name=f"rest.wait.{self.api.name}")
         return done
+
+    @staticmethod
+    def _overloaded() -> HttpResponse:
+        # a full accept queue is the canonical transient failure: the
+        # same request against a quieter (or newly booted) replica works
+        return HttpResponse(status=503, body=problem(
+            503, "server overloaded", "accept queue full", retryable=True))
 
     def _error_response(self, error: str) -> HttpResponse:
         # handler raised: HttpError carries a status, anything else is a 500
         match = re.search(r"job raised: (.*)", error)
         message = match.group(1) if match else error
-        return HttpResponse(status=500, body={"error": message})
+        return HttpResponse(status=500, body=problem(
+            500, "handler error", message, retryable=False))
 
     @staticmethod
     def _revalidate(request: HttpRequest,
@@ -270,7 +356,14 @@ class RestServer:
         return 200, result
 
     def _finish(self, done: Signal, response: HttpResponse,
-                span: Optional[Span] = None) -> None:
+                span: Optional[Span] = None,
+                route: Optional[Route] = None) -> None:
+        if route is not None and route.deprecated:
+            # the legacy shim answers, but tells the client where to go
+            response.headers.setdefault("Deprecation", "true")
+            if route.successor:
+                response.headers.setdefault(
+                    "Link", f"<{route.successor}>; rel=\"successor-version\"")
         if span is not None and not span.finished:
             span.set_attribute("status", response.status)
             span.finish(error=None if response.status < 500
@@ -283,13 +376,14 @@ def handler_error_to_response(fn: Callable) -> Callable:
     """Wrap a handler so :class:`HttpError` becomes a status tuple.
 
     Job execution converts exceptions to failed outcomes, losing the
-    status code; wrapping keeps 4xx semantics intact.
+    status code; wrapping keeps 4xx semantics (and the ``retryable``
+    verdict) intact.
     """
 
     def wrapped(request: HttpRequest, params: Dict[str, str]):
         try:
             return fn(request, params)
         except HttpError as err:
-            return err.status, {"error": err.message}
+            return err.status, err.to_problem()
 
     return wrapped

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from repro.cloud.instance import Instance, Job
+from repro.services.envelope import problem
 from repro.services.transport import (
     HttpRequest,
     HttpResponse,
@@ -39,10 +40,16 @@ _session_ids = itertools.count()
 
 @dataclass
 class SoapFault:
-    """A SOAP fault body (returned inside an HTTP 500)."""
+    """A SOAP fault body (returned inside an HTTP 500).
+
+    ``retryable`` mirrors the problem-document field: ``Client.*`` faults
+    are permanent, but a ``Server`` fault from a transient condition may
+    set it so resilient callers know a replay can help.
+    """
 
     code: str
     reason: str
+    retryable: bool = False
 
 
 @dataclass
@@ -127,7 +134,14 @@ class SoapServer:
         def waiter():
             outcome = yield outcome_signal
             if not outcome.succeeded:
-                if outcome.error and outcome.error.startswith("job raised"):
+                if outcome.error == "queue full":
+                    # previously a silent drop that forced the caller to
+                    # burn its full timeout; an explicit 503 problem lets
+                    # a resilient client back off and try again
+                    done.fire(HttpResponse(status=503, body=problem(
+                        503, "server overloaded", "accept queue full",
+                        retryable=True)))
+                elif outcome.error and outcome.error.startswith("job raised"):
                     done.fire(HttpResponse(status=500,
                                            body=SoapFault("Server", outcome.error)))
                 return

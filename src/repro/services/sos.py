@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cloud.instance import Instance
+from repro.services.envelope import problem
 from repro.services.rest import RestApi, RestServer
 from repro.services.transport import HttpRequest
 from repro.sim import Simulator
@@ -99,13 +100,17 @@ class SosService:
     def _describe_sensor(self, request: HttpRequest, params: Dict[str, str]):
         procedure_id = params["procedure_id"]
         if procedure_id not in self.source.procedures():
-            return 404, {"error": f"no procedure {procedure_id!r}"}
+            return 404, problem(404, "no such procedure",
+                                f"no procedure {procedure_id!r}",
+                                retryable=False)
         return self.source.describe(procedure_id).to_document()
 
     def _get_observation(self, request: HttpRequest, params: Dict[str, str]):
         procedure_id = params["procedure_id"]
         if procedure_id not in self.source.procedures():
-            return 404, {"error": f"no procedure {procedure_id!r}"}
+            return 404, problem(404, "no such procedure",
+                                f"no procedure {procedure_id!r}",
+                                retryable=False)
         begin, end = self._temporal_filter(request)
         observations: List[Observation] = self.source.observations(
             procedure_id, begin, end)

@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, Optional
 from repro.cloud.instance import Instance
 from repro.obs.context import extract_context, inject_context
 from repro.obs.hub import obs_of
+from repro.services.envelope import problem
 from repro.sim import RandomStreams, Signal, Simulator
 
 #: Approximate HTTP header block, bytes.
@@ -184,20 +185,27 @@ class Network:
 
             self.sim.spawn(client_watch(), name=f"net.trace.{address}")
 
-        timeout_handle = self.sim.schedule(
-            timeout, self._fire_once, reply,
-            RequestTimeout(address=address, after_seconds=timeout))
+        # Every path that can complete this request funnels through one
+        # settle helper: it cancels the timeout timer and fires the reply
+        # only if nothing else fired first.  The guard is what makes the
+        # timeout race safe — a slow response crossing the wire while the
+        # timer pops (or a blackholed instance recovering and answering
+        # long after the caller gave up) must never double-fire the
+        # one-shot reply signal.
+        timeout_handle = self.sim.schedule(timeout, self._settle, reply, None,
+                                           RequestTimeout(address=address,
+                                                          after_seconds=timeout))
 
         def deliver() -> None:
             endpoint = self._endpoints.get(address)
             if endpoint is None:
-                timeout_handle.cancel()
-                self._fire_once(reply, ConnectionRefused(address=address))
+                self._settle(reply, timeout_handle,
+                             ConnectionRefused(address=address))
                 return
             server, instance = endpoint
             if not instance.is_serving:
-                timeout_handle.cancel()
-                self._fire_once(reply, ConnectionRefused(address=address))
+                self._settle(reply, timeout_handle,
+                             ConnectionRefused(address=address))
                 return
             instance.record_bytes_in(request_bytes)
             instance.record_bytes_out(TCP_ACK_BYTES)  # ack; dropped if blackholed
@@ -208,16 +216,23 @@ class Network:
             def respond():
                 response = yield response_signal
                 if not isinstance(response, HttpResponse):
-                    response = HttpResponse(status=500, body={"error": "bad handler"})
+                    response = HttpResponse(status=500, body=problem(
+                        500, "bad handler",
+                        "handler produced no HttpResponse", retryable=False))
                 response_bytes = response.wire_bytes() + extra_response_bytes
                 if not instance.is_serving or instance.network_blackholed:
                     # response never makes it onto the wire; caller times out
                     return
+                if reply.fired:
+                    # the caller already saw a timeout: the late response
+                    # still pays its wire bytes but must not re-fire
+                    instance.record_bytes_out(response_bytes)
+                    self.total_bytes += response_bytes
+                    return
                 instance.record_bytes_out(response_bytes)
                 self.total_bytes += response_bytes
                 yield self._latency()
-                timeout_handle.cancel()
-                self._fire_once(reply, response)
+                self._settle(reply, timeout_handle, response)
 
             self.sim.spawn(respond(), name=f"net.respond.{address}")
 
@@ -225,6 +240,10 @@ class Network:
         return reply
 
     @staticmethod
-    def _fire_once(signal: Signal, value: Any) -> None:
+    def _settle(signal: Signal, timeout_handle: Optional[Any],
+                value: Any) -> None:
+        """Fire ``signal`` with ``value`` unless it already settled."""
+        if timeout_handle is not None:
+            timeout_handle.cancel()
         if not signal.fired:
             signal.fire(value)

@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.cloud.instance import Instance, Job
 from repro.cloud.storage import Container
+from repro.services.envelope import problem
 from repro.services.rest import (
     HttpError,
     RestApi,
@@ -146,10 +147,14 @@ class WpsService:
         self.status = status_container
         self._processes: Dict[str, WpsProcess] = {}
         self.api = RestApi(f"wps.{name}")
-        self.api.get("/wps", self._get_capabilities)
+        self.api.get("/wps", self._get_capabilities, cacheable=False)
         self.api.get("/wps/processes/{identifier}", self._describe_process)
-        self.api.post("/wps/processes/{identifier}/execute", self._execute)
-        self.api.get("/wps/executions/{execution_id}", self._get_status)
+        # Execute replays deterministically (same inputs, same outputs),
+        # so the route is declared safe: clients may retry and hedge it.
+        self.api.post("/wps/processes/{identifier}/execute", self._execute,
+                      safe=True)
+        self.api.get("/wps/executions/{execution_id}", self._get_status,
+                     cacheable=True)
 
     def add_process(self, process: WpsProcess) -> None:
         """Publish a process on this service."""
@@ -182,24 +187,29 @@ class WpsService:
     def _describe_process(self, request: HttpRequest, params: Dict[str, str]):
         process = self._processes.get(params["identifier"])
         if process is None:
-            return 404, {"error": f"no process {params['identifier']!r}"}
+            return 404, problem(404, "no such process",
+                                f"no process {params['identifier']!r}",
+                                retryable=False)
         return process.description.to_document()
 
     def _execute(self, request: HttpRequest, params: Dict[str, str]):
         process = self._processes.get(params["identifier"])
         if process is None:
-            return 404, {"error": f"no process {params['identifier']!r}"}
+            return 404, problem(404, "no such process",
+                                f"no process {params['identifier']!r}",
+                                retryable=False)
         body = request.body or {}
         mode = body.get("mode", "sync")
         try:
             inputs = process.validate(body.get("inputs", {}))
         except HttpError as err:
-            return err.status, {"error": err.message}
+            return err.status, err.to_problem()
         if mode == "sync":
             return self._execute_sync(process, inputs)
         if mode == "async":
             return self._execute_async(process, inputs)
-        return 400, {"error": f"unknown mode {mode!r}"}
+        return 400, problem(400, "unknown execute mode",
+                            f"unknown mode {mode!r}", retryable=False)
 
     def _execute_sync(self, process: WpsProcess, inputs: Dict[str, Any]):
         job = Job(cost=process.cost(inputs),
@@ -244,7 +254,7 @@ class WpsService:
         return RestBackground(job=job, status=202, body={
             "status": "accepted",
             "executionId": execution_id,
-            "statusLocation": f"/wps/executions/{execution_id}",
+            "statusLocation": f"/v1/wps/executions/{execution_id}",
         })
 
     def purge_executions(self, older_than_seconds: float) -> int:
@@ -271,6 +281,8 @@ class WpsService:
         # lets a poller revalidate instead of re-downloading the outputs
         execution_id = params["execution_id"]
         if not self.status.exists(execution_id):
-            return 404, {"error": f"no execution {execution_id!r}"}
+            return 404, problem(404, "no such execution",
+                                f"no execution {execution_id!r}",
+                                retryable=False)
         blob = self.status.get(execution_id)
         return RestCacheable(body=dict(blob.payload), etag=blob.etag)

@@ -65,10 +65,15 @@ class CloudWorkflowEngine:
     """
 
     def __init__(self, sim: Simulator, network: Network,
-                 request_timeout: float = 600.0):
+                 request_timeout: float = 600.0,
+                 client=None):
         self.sim = sim
         self.network = network
         self.request_timeout = request_timeout
+        #: optional shared ResilientClient; with one attached, stage
+        #: dispatch rides the fabric (retry/breaker/admission) and uses
+        #: the canonical v1 route, surviving mid-workflow crashes
+        self.client = client
         self._cache: Dict[str, Any] = {}
         self._runs: list = []
 
@@ -123,19 +128,36 @@ class CloudWorkflowEngine:
                     else:
                         upstream = {dep: outputs[dep]
                                     for dep in node.depends_on}
-                        address = call.address_of()
-                        if address is None:
-                            stage_span.finish(error="no address")
-                            self._finish(record, done, run_span, failed=True)
-                            return
                         inputs = call.build_inputs(params, upstream)
-                        request = HttpRequest(
-                            "POST",
-                            f"/wps/processes/{call.process_id}/execute",
-                            body={"inputs": inputs})
-                        inject_context(stage_span.context, request.headers)
-                        reply = yield self.network.request(
-                            address, request, timeout=self.request_timeout)
+                        if self.client is not None:
+                            # resilient dispatch: canonical v1 route,
+                            # retries/breakers/admission via the fabric;
+                            # Execute is replayable, hence safe=True
+                            request = HttpRequest(
+                                "POST",
+                                f"/v1/wps/processes/{call.process_id}"
+                                f"/execute",
+                                body={"inputs": inputs})
+                            reply = yield self.client.call(
+                                call.address_of, request, safe=True,
+                                timeout=self.request_timeout,
+                                trace=stage_span.context)
+                        else:
+                            address = call.address_of()
+                            if address is None:
+                                stage_span.finish(error="no address")
+                                self._finish(record, done, run_span,
+                                             failed=True)
+                                return
+                            request = HttpRequest(
+                                "POST",
+                                f"/wps/processes/{call.process_id}/execute",
+                                body={"inputs": inputs})
+                            inject_context(stage_span.context,
+                                           request.headers)
+                            reply = yield self.network.request(
+                                address, request,
+                                timeout=self.request_timeout)
                         if not (isinstance(reply, HttpResponse) and reply.ok):
                             stage_span.finish(error=f"service call failed: "
                                                     f"{reply!r}")

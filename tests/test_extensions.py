@@ -175,7 +175,8 @@ def test_upload_validation(sim, network, mutation, expected):
                                         body=upload_body(**mutation)))
     sim.run()
     assert reply.value.status == 400
-    assert expected in reply.value.body["error"]
+    assert expected in reply.value.body["detail"]
+    assert reply.value.body["retryable"] is False
 
 
 def test_uploaded_rainfall_drives_model_run(sim, network):

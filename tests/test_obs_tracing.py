@@ -218,7 +218,8 @@ def traced_journey():
     workflow.add(service_node("model", ServiceCall(
         process_id, lambda: widget.session.instance_address,
         lambda p, u: {"scenario": "baseline", "duration_hours": 96})))
-    engine = CloudWorkflowEngine(evop.sim, evop.network)
+    engine = CloudWorkflowEngine(evop.sim, evop.network,
+                                 client=evop.resilient)
     done = engine.run(workflow, parent=widget.session.trace_context)
     evop.run_for(300.0)
     assert done.value is not None
@@ -264,9 +265,14 @@ def test_journey_spans_nest_correctly(traced_journey):
         elif span.name.startswith("workflow.stage"):
             assert by_id[span.parent_id].name.startswith("workflow.run")
 
-    # http client spans hang off the session root or a workflow stage
+    # http client spans hang off the resilience span of the attempt that
+    # issued them; the resilience span hangs off the session root or a
+    # workflow stage (whoever initiated the call)
     for span in spans:
         if span.name.startswith("http "):
+            parent = by_id[span.parent_id].name
+            assert parent.startswith("resilience ")
+        elif span.name.startswith("resilience "):
             parent = by_id[span.parent_id].name
             assert parent.startswith(("rb.session", "workflow.stage"))
 
