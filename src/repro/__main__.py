@@ -7,6 +7,9 @@
   composed cloud workflow under distributed tracing and dump the trace
   as Chrome ``trace_event`` JSON (open it in ``chrome://tracing`` or
   https://ui.perfetto.dev).
+* ``python -m repro chaos`` — crash an executor mid-workflow and watch
+  the write-ahead run journal, lease expiry, and orphan re-adoption
+  carry the run to completion on a replacement instance.
 
 The full demonstrations live in ``examples/``.
 """
@@ -28,12 +31,18 @@ def main() -> None:
     trace_parser.add_argument(
         "--out", default="evop-trace.json",
         help="Chrome trace_event output path (default: %(default)s)")
+    sub.add_parser(
+        "chaos",
+        help="crash an executor mid-workflow; durable execution recovers it")
     args = parser.parse_args()
     if args.command == "trace":
         directory = os.path.dirname(os.path.abspath(args.out))
         if not os.path.isdir(directory):
             parser.error(f"--out directory does not exist: {directory}")
         run_trace(args.out)
+    elif args.command == "chaos":
+        from repro.durable.demo import run_chaos
+        run_chaos()
     else:
         run_tour()
 

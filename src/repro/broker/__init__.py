@@ -11,7 +11,7 @@ instances whose statistics betray the failure signatures the paper lists.
 """
 
 from repro.broker.sessions import SessionState, SessionTable, UserSession
-from repro.broker.health import HealthMonitor, HealthVerdict
+from repro.broker.health import HealthMonitor, HealthVerdict, VerdictTransition
 from repro.broker.policies import (
     PlacementContext,
     PrivateFirstPolicy,
@@ -27,6 +27,7 @@ from repro.broker.resource_broker import ResourceBroker
 __all__ = [
     "HealthMonitor",
     "HealthVerdict",
+    "VerdictTransition",
     "LoadBalancer",
     "ManagedService",
     "PlacementContext",

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.cloud.instance import Instance
+from repro.obs.hub import obs_of
 from repro.sim import Simulator
 
 
@@ -45,6 +46,21 @@ class HealthVerdict(enum.Enum):
         """Whether the verdict should trigger replacement."""
         return self in (HealthVerdict.WEDGED, HealthVerdict.BLACKHOLED,
                         HealthVerdict.DEAD)
+
+
+@dataclass(frozen=True)
+class VerdictTransition:
+    """One verdict *change* for a watched instance.
+
+    The sample loop re-issues fault verdicts every interval; transitions
+    record only the edges, which is what detection-latency assertions
+    and recovery dedup actually want.
+    """
+
+    time: float
+    instance_id: str
+    previous: HealthVerdict
+    verdict: HealthVerdict
 
 
 @dataclass(frozen=True)
@@ -80,6 +96,8 @@ class HealthMonitor:
         self._watched: Dict[str, Instance] = {}
         self._callbacks: List[Callable[[Instance, HealthVerdict], None]] = []
         self._loop_running = False
+        self._last: Dict[str, HealthVerdict] = {}
+        self._transitions: List[VerdictTransition] = []
 
     def on_verdict(self, callback: Callable[[Instance, HealthVerdict], None]) -> None:
         """Register a callback invoked with every non-healthy verdict."""
@@ -99,6 +117,19 @@ class HealthMonitor:
         """Stop monitoring ``instance``."""
         self._watched.pop(instance.instance_id, None)
         self._samples.pop(instance.instance_id, None)
+        self._last.pop(instance.instance_id, None)
+
+    def transitions(self, instance: Optional[Instance] = None
+                    ) -> List[VerdictTransition]:
+        """Verdict changes observed so far, oldest first.
+
+        Includes recoveries (back to ``HEALTHY``), so detection latency
+        is ``transition.time - injection.time`` without polling.
+        """
+        if instance is None:
+            return list(self._transitions)
+        return [t for t in self._transitions
+                if t.instance_id == instance.instance_id]
 
     def watched(self) -> List[Instance]:
         """Instances currently being monitored."""
@@ -110,6 +141,18 @@ class HealthMonitor:
             for instance in list(self._watched.values()):
                 self._take_sample(instance)
                 verdict = self.verdict(instance)
+                previous = self._last.get(instance.instance_id,
+                                          HealthVerdict.HEALTHY)
+                if verdict != previous:
+                    self._last[instance.instance_id] = verdict
+                    transition = VerdictTransition(
+                        time=self.sim.now,
+                        instance_id=instance.instance_id,
+                        previous=previous, verdict=verdict)
+                    self._transitions.append(transition)
+                    obs_of(self.sim).events.emit(
+                        "health.transition", instance=instance.instance_id,
+                        previous=previous.value, verdict=verdict.value)
                 if verdict != HealthVerdict.HEALTHY:
                     for callback in self._callbacks:
                         callback(instance, verdict)

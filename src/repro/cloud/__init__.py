@@ -22,6 +22,7 @@ from repro.cloud.errors import (
     InstanceNotFound,
     InvalidStateError,
     QuotaExceededError,
+    StorageUnavailable,
 )
 from repro.cloud.flavors import Flavor, SMALL, MEDIUM, LARGE
 from repro.cloud.images import ImageKind, ImageStore, MachineImage
@@ -30,7 +31,7 @@ from repro.cloud.provider import CloudProvider
 from repro.cloud.openstack import OpenStackCloud
 from repro.cloud.aws import AwsCloud
 from repro.cloud.storage import Blob, BlobStore, Container
-from repro.cloud.faults import FaultInjector
+from repro.cloud.faults import FaultInjector, InjectedFault
 from repro.cloud.provisioning import ProvisioningRecipe, RecipeStep
 from repro.cloud.multicloud import MultiCloud, NodeTemplate
 
@@ -47,6 +48,7 @@ __all__ = [
     "Flavor",
     "ImageKind",
     "ImageStore",
+    "InjectedFault",
     "Instance",
     "InstanceNotFound",
     "InstanceState",
@@ -63,4 +65,5 @@ __all__ = [
     "QuotaExceededError",
     "RecipeStep",
     "SMALL",
+    "StorageUnavailable",
 ]

@@ -40,5 +40,14 @@ class BlobNotFound(CloudError):
     """The requested object does not exist in the blob store."""
 
 
+class StorageUnavailable(CloudError):
+    """The blob store is refusing requests (injected outage).
+
+    Raised by every container operation while a ``storage_fault`` or
+    provider ``outage`` is active; durable-execution callers treat it
+    like a crash point — nothing written during the fault is trusted.
+    """
+
+
 class ContainerNotFound(CloudError):
     """The requested container does not exist in the blob store."""

@@ -1,6 +1,7 @@
-"""Fault injection for the failover benchmarks.
+"""Fault injection for the failover and durability benchmarks.
 
-Three fault kinds cover the signatures the paper's Load Balancer detects:
+The original fault kinds cover the signatures the paper's Load Balancer
+detects:
 
 * **crash** — the instance dies outright (state ``FAILED``); in-flight
   jobs fail, requests to it are refused.
@@ -9,28 +10,74 @@ Three fault kinds cover the signatures the paper's Load Balancer detects:
 * **blackhole** — the NIC stops transmitting while still receiving
   ("zero outbound network usage whilst receiving inbound traffic").
 
+The durable-execution work adds infrastructure-level faults:
+
+* **partition** — two addresses can no longer reach each other (requests
+  between them time out); heals with :meth:`heal_partition`.
+* **storage_fault** — a blob store goes unavailable or arms a one-shot
+  torn write (see :class:`~repro.cloud.storage.BlobStore`).
+* **outage** — a provider's blob store is unavailable for a fixed
+  simulated duration, then heals itself.
+* **heal** — undo a degrade/blackhole on an instance.
+
+Every injection is recorded as a structured :class:`InjectedFault` in
+:attr:`FaultInjector.injected` and emitted to the event log, so traces
+show exactly where chaos struck.
+
 Faults can be injected deterministically (``crash_at``) or as a Poisson
 background process (``enable_random_crashes``).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.cloud.instance import Instance, InstanceState
 from repro.cloud.provider import CloudProvider
+from repro.cloud.storage import BlobStore
+from repro.obs.hub import obs_of
 from repro.sim import RandomStreams, Simulator
 
 
+@dataclass(frozen=True)
+class InjectedFault:
+    """One recorded fault injection.
+
+    Indexable like the old ``(time, kind, target)`` tuples so existing
+    call sites keep working, but with named fields and a cause.
+    """
+
+    time: float
+    kind: str
+    target: str
+    cause: str = ""
+
+    def __getitem__(self, index: int):
+        return (self.time, self.kind, self.target, self.cause)[index]
+
+    def __iter__(self):
+        return iter((self.time, self.kind, self.target, self.cause))
+
+
 class FaultInjector:
-    """Injects instance faults into one or more providers."""
+    """Injects instance, network and storage faults.
+
+    ``providers`` are the clouds whose instances can be crashed;
+    ``network`` (optional) enables partitions; ``stores`` (optional,
+    name → :class:`BlobStore`) enables storage faults and outages.
+    """
 
     def __init__(self, sim: Simulator, providers: List[CloudProvider],
-                 streams: Optional[RandomStreams] = None):
+                 streams: Optional[RandomStreams] = None,
+                 network: Optional[object] = None,
+                 stores: Optional[Dict[str, BlobStore]] = None):
         self.sim = sim
         self.providers = list(providers)
         self.streams = streams or RandomStreams()
-        self.injected: List[Tuple[float, str, str]] = []  # (t, kind, instance)
+        self.network = network
+        self.stores = dict(stores or {})
+        self.injected: List[InjectedFault] = []
 
     def _provider_of(self, instance: Instance) -> CloudProvider:
         for provider in self.providers:
@@ -38,7 +85,14 @@ class FaultInjector:
                 return provider
         raise ValueError(f"no provider {instance.provider_name!r} registered")
 
-    # -- deterministic injection --------------------------------------------------
+    def _record(self, kind: str, target: str, cause: str = "") -> None:
+        fault = InjectedFault(time=self.sim.now, kind=kind, target=target,
+                              cause=cause)
+        self.injected.append(fault)
+        obs_of(self.sim).events.emit("fault.injected", fault=kind,
+                                     target=target, cause=cause)
+
+    # -- deterministic instance faults ---------------------------------------
 
     def crash(self, instance: Instance, cause: str = "hardware fault") -> None:
         """Kill ``instance`` now."""
@@ -49,19 +103,25 @@ class FaultInjector:
         instance._mark_failed(cause)
         provider._on_instance_gone(instance, was_serving)
         provider.metrics.counter("faults.crash").increment()
-        self.injected.append((self.sim.now, "crash", instance.instance_id))
+        self._record("crash", instance.instance_id, cause)
 
     def degrade(self, instance: Instance, speed_multiplier: float = 0.1) -> None:
         """Pin ``instance`` at 100% CPU with drastically slowed service."""
         instance._degrade(speed_multiplier)
         self._provider_of(instance).metrics.counter("faults.degrade").increment()
-        self.injected.append((self.sim.now, "degrade", instance.instance_id))
+        self._record("degrade", instance.instance_id,
+                     f"speed x{speed_multiplier}")
 
     def blackhole(self, instance: Instance) -> None:
         """Stop ``instance`` transmitting while it still receives."""
         instance._blackhole()
         self._provider_of(instance).metrics.counter("faults.blackhole").increment()
-        self.injected.append((self.sim.now, "blackhole", instance.instance_id))
+        self._record("blackhole", instance.instance_id)
+
+    def heal(self, instance: Instance) -> None:
+        """Undo a degrade/blackhole fault (a crash is permanent)."""
+        instance._heal()
+        self._record("heal", instance.instance_id)
 
     def crash_at(self, delay: float, instance: Instance,
                  cause: str = "scheduled fault") -> None:
@@ -77,7 +137,57 @@ class FaultInjector:
         """Schedule a NIC blackhole ``delay`` seconds from now."""
         self.sim.schedule(delay, self.blackhole, instance)
 
-    # -- background fault process ----------------------------------------------------
+    def heal_at(self, delay: float, instance: Instance) -> None:
+        """Schedule a heal ``delay`` seconds from now."""
+        self.sim.schedule(delay, self.heal, instance)
+
+    # -- network faults ------------------------------------------------------
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut the network between addresses ``a`` and ``b``.
+
+        Requests between the two sides are silently dropped (the caller
+        times out), in both directions, until :meth:`heal_partition`.
+        """
+        if self.network is None:
+            raise ValueError("FaultInjector has no network to partition")
+        self.network.partition(a, b)
+        self._record("partition", f"{a}|{b}")
+
+    def heal_partition(self, a: str, b: str) -> None:
+        """Restore connectivity between ``a`` and ``b``."""
+        if self.network is None:
+            raise ValueError("FaultInjector has no network to heal")
+        self.network.heal_partition(a, b)
+        self._record("heal_partition", f"{a}|{b}")
+
+    # -- storage faults ------------------------------------------------------
+
+    def _store_of(self, provider: str) -> BlobStore:
+        try:
+            return self.stores[provider]
+        except KeyError:
+            raise ValueError(f"no blob store registered for provider "
+                             f"{provider!r}") from None
+
+    def storage_fault(self, provider: str, kind: str) -> None:
+        """Inject a storage fault: ``"unavailable"`` or ``"torn_write"``."""
+        self._store_of(provider).set_fault(kind)
+        self._record("storage_fault", provider, kind)
+
+    def heal_storage(self, provider: str) -> None:
+        """Clear an ``unavailable`` fault on ``provider``'s store."""
+        self._store_of(provider).clear_fault()
+        self._record("heal_storage", provider)
+
+    def outage(self, provider: str, duration: float) -> None:
+        """Make ``provider``'s store unavailable for ``duration`` seconds."""
+        store = self._store_of(provider)
+        store.set_fault("unavailable")
+        self._record("outage", provider, f"{duration:.0f}s")
+        self.sim.schedule(duration, self.heal_storage, provider)
+
+    # -- background fault process --------------------------------------------
 
     def enable_random_crashes(self, mean_interval_seconds: float,
                               horizon: float) -> None:

@@ -226,6 +226,19 @@ class Instance:
         self.network_blackholed = True
         self._emit("instance.blackholed")
 
+    def _heal(self) -> None:
+        """Undo degrade/blackhole faults (a crash is not healable)."""
+        if not self.is_serving:
+            raise InvalidStateError(
+                f"cannot heal {self.instance_id} in state {self.state}")
+        if self.network_blackholed:
+            self.network_blackholed = False
+            self._emit("instance.healed", fault="blackhole")
+        if self.state == InstanceState.DEGRADED:
+            self.state = InstanceState.RUNNING
+            self._emit("instance.healed", fault="degrade")
+            self._reschedule_running_jobs(1.0)
+
     def _reschedule_running_jobs(self, new_degradation: float) -> None:
         """Stretch in-flight job completions when the speed changes."""
         old_speed = self.effective_speed

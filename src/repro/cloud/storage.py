@@ -13,7 +13,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
-from repro.cloud.errors import BlobNotFound, ContainerNotFound
+from repro.cloud.errors import BlobNotFound, ContainerNotFound, StorageUnavailable
 from repro.sim import Simulator
 
 
@@ -44,15 +44,31 @@ def _size_of(payload: Any, declared: Optional[int]) -> int:
 class Container:
     """A named bucket of blobs."""
 
-    def __init__(self, name: str, sim: Simulator):
+    def __init__(self, name: str, sim: Simulator,
+                 store: Optional["BlobStore"] = None):
         self.name = name
         self._sim = sim
+        self._store = store
         self._blobs: Dict[str, Blob] = {}
+
+    def _check_available(self, writing: bool = False) -> None:
+        if self._store is not None:
+            self._store._check_fault()
+
+    def _maybe_tear(self, payload: Any) -> Any:
+        """Apply a one-shot torn-write fault to string payloads."""
+        if self._store is None or not self._store.consume_torn_write():
+            return payload
+        if isinstance(payload, str) and len(payload) > 1:
+            return payload[: max(1, (2 * len(payload)) // 3)]
+        return payload
 
     def put(self, key: str, payload: Any,
             metadata: Optional[Dict[str, str]] = None,
             size_bytes: Optional[int] = None) -> Blob:
         """Store (or overwrite) ``key``; returns the stored blob."""
+        self._check_available(writing=True)
+        payload = self._maybe_tear(payload)
         blob = Blob(
             key=key,
             payload=payload,
@@ -66,6 +82,7 @@ class Container:
 
     def get(self, key: str) -> Blob:
         """Fetch ``key`` or raise :class:`BlobNotFound`."""
+        self._check_available()
         try:
             return self._blobs[key]
         except KeyError:
@@ -84,12 +101,14 @@ class Container:
 
     def delete(self, key: str) -> None:
         """Remove ``key`` or raise :class:`BlobNotFound`."""
+        self._check_available(writing=True)
         if key not in self._blobs:
             raise BlobNotFound(f"{self.name}/{key}")
         del self._blobs[key]
 
     def list(self, prefix: str = "") -> List[str]:
         """Keys with the given prefix, sorted."""
+        self._check_available()
         return sorted(k for k in self._blobs if k.startswith(prefix))
 
     def total_bytes(self) -> int:
@@ -101,17 +120,57 @@ class Container:
 
 
 class BlobStore:
-    """Top-level object store: a namespace of containers."""
+    """Top-level object store: a namespace of containers.
+
+    Fault injection (see :class:`~repro.cloud.faults.FaultInjector`)
+    can mark the whole store *unavailable* — every container operation
+    raises :class:`StorageUnavailable` until healed — or arm a one-shot
+    *torn write*: the next string ``put`` stores a truncated payload,
+    the signature a write-ahead journal must detect and truncate.
+    """
 
     def __init__(self, sim: Simulator, name: str = "store"):
         self._sim = sim
         self.name = name
         self._containers: Dict[str, Container] = {}
+        self._fault: Optional[str] = None
+        self._torn_writes_pending = 0
+
+    # -- fault hooks (driven by the FaultInjector) ---------------------------
+
+    def set_fault(self, kind: str) -> None:
+        """Arm a fault: ``"unavailable"`` or ``"torn_write"``."""
+        if kind == "unavailable":
+            self._fault = kind
+        elif kind == "torn_write":
+            self._torn_writes_pending += 1
+        else:
+            raise ValueError(f"unknown storage fault kind {kind!r}")
+
+    def clear_fault(self) -> None:
+        """Heal the store (torn writes already armed stay armed)."""
+        self._fault = None
+
+    @property
+    def faulted(self) -> bool:
+        """Whether the store is currently refusing requests."""
+        return self._fault == "unavailable"
+
+    def _check_fault(self) -> None:
+        if self._fault == "unavailable":
+            raise StorageUnavailable(f"blob store {self.name!r} unavailable")
+
+    def consume_torn_write(self) -> bool:
+        """Whether the current ``put`` should tear (one-shot)."""
+        if self._torn_writes_pending > 0:
+            self._torn_writes_pending -= 1
+            return True
+        return False
 
     def create_container(self, name: str) -> Container:
         """Create (or return the existing) container ``name``."""
         if name not in self._containers:
-            self._containers[name] = Container(name, self._sim)
+            self._containers[name] = Container(name, self._sim, store=self)
         return self._containers[name]
 
     def container(self, name: str) -> Container:

@@ -34,6 +34,8 @@ from repro.cloud.openstack import OpenStackCloud
 from repro.cloud.storage import BlobStore
 from repro.core.config import EvopConfig
 from repro.data.access import AccessPolicy, GuardedWarehouse, MODEL_RUNNER
+from repro.durable.journal import JournalStore
+from repro.durable.recovery import RecoveryManager
 from repro.data.catalog import AssetCatalog
 from repro.data.catchments import Catchment, STUDY_CATCHMENTS
 from repro.data.warehouse import DataWarehouse
@@ -139,7 +141,16 @@ class Evop:
             breakers=self.breakers)
         self.multicloud.attach_resilience(self.breakers)
         self.injector = FaultInjector(self.sim, [self.private, self.public],
-                                      streams=self.streams)
+                                      streams=self.streams,
+                                      network=self.network,
+                                      stores={"private": self.storage})
+
+        # durable execution: every journaled run lives in the blob
+        # store, and the recovery manager listens to the same health
+        # verdicts that drive LB replacement
+        self.journals = JournalStore(self.sim, self.storage)
+        self.recovery = RecoveryManager(self.sim, self.journals,
+                                        monitor=self.monitor)
 
         self.rb: Optional[ResourceBroker] = None
         self.left_tools: Dict[str, LeftTool] = {}

@@ -1,0 +1,172 @@
+"""Checkpointed, journaled ensemble sweeps.
+
+Calibration and GLUE sweeps are the portal's longest-running unit of
+work — hundreds of model evaluations — and before this module a mid-
+sweep executor crash meant starting the whole batch again.
+:class:`DurableSweep` wraps an
+:class:`~repro.perf.runner.EnsembleRunner` with:
+
+* a **run journal** (SCHEDULED/STARTED/CHECKPOINT/DONE) in the blob
+  store, so the sweep's existence and progress survive the executor;
+* a **checkpoint every N completed parameter sets**: the results-so-far
+  go to the payload container and a CHECKPOINT record points at them,
+  bounding wasted recompute after a crash to at most one interval;
+* **exactly-once effects**: each completed evaluation may publish its
+  result under its content-addressed ``run_key``; publication is an
+  existence-checked put, so at-least-once replay across crashes never
+  applies an effect twice — the MillWheel discipline, keyed by the
+  cache keys the perf layer already computes.
+
+Crashes are simulated, not thrown: ``run(..., interrupt_after=k)``
+makes the executor die after ``k`` evaluations of *this attempt*
+(unsynced journal tail lost, optionally a torn record left behind) and
+returns ``None``.  A fresh sweep object pointed at the same journal
+resumes from the last checkpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.durable import journal as j
+from repro.obs.hub import obs_of
+from repro.perf.runner import EnsembleRunner
+
+
+class DurableSweep:
+    """A resumable, effect-deduplicating ensemble sweep.
+
+    ``effects`` is an optional blob container; when given, every
+    completed evaluation publishes its result under its ``run_key``
+    exactly once across all attempts.  ``owner`` identifies the
+    executor in lease records.
+    """
+
+    def __init__(self, runner: EnsembleRunner, store: j.JournalStore,
+                 sweep_id: str, checkpoint_every: int = 50,
+                 effects=None, owner: str = "sweep-executor",
+                 lease_ttl: float = 300.0):
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.runner = runner
+        self.store = store
+        self.sweep_id = sweep_id
+        self.checkpoint_every = checkpoint_every
+        self.effects = effects
+        self.owner = owner
+        self.lease_ttl = lease_ttl
+        # per-attempt counters, reset by each run()
+        self.computed = 0
+        self.effects_applied = 0
+        self.effects_deduped = 0
+        self.resumed_from = 0
+        self.checkpoints_written = 0
+
+    def run(self, parameter_sets: Sequence[Dict[str, float]],
+            interrupt_after: Optional[int] = None,
+            torn: bool = False) -> Optional[List[Any]]:
+        """Execute (or resume) the sweep; ``None`` on simulated crash.
+
+        Resumption is automatic: if the journal already has a
+        CHECKPOINT, the results it points at are loaded and evaluation
+        continues from the next parameter set.  ``interrupt_after``
+        kills the executor after that many evaluations of this attempt
+        (``torn`` leaves a torn record for the next open to truncate).
+        """
+        sim = self.store.sim
+        self.computed = 0
+        self.effects_applied = 0
+        self.effects_deduped = 0
+        journal = self.store.open_or_create(self.sweep_id)
+        prior = self._replay(journal)
+        journal.acquire(self.owner, self.lease_ttl)
+        span = obs_of(sim).tracer.start_span(
+            "durable.sweep", kind="perf",
+            attributes={"sweep": self.sweep_id,
+                        "runs": len(parameter_sets),
+                        "checkpoint_every": self.checkpoint_every})
+        if not journal.records() or prior.status == "unknown":
+            journal.append(j.SCHEDULED, sync=False,
+                           workflow=f"sweep:{self.runner.model_id}",
+                           parameters={"runs": len(parameter_sets)})
+        journal.append(j.STARTED, owner=self.owner)
+
+        results: List[Any] = []
+        start = 0
+        if prior.checkpoint is not None:
+            start = int(prior.checkpoint.get("completed", 0))
+            payload_key = prior.checkpoint.get("payload")
+            if payload_key and self.store.has_payload(payload_key):
+                results = list(self.store.get_payload(payload_key))[:start]
+            else:  # checkpoint record without payload: restart
+                start = 0
+                results = []
+        self.resumed_from = start
+        if start:
+            obs_of(sim).events.emit("durable.sweep.resumed",
+                                    sweep=self.sweep_id, completed=start)
+        span.set_attribute("resumed_from", start)
+
+        for index in range(start, len(parameter_sets)):
+            if interrupt_after is not None \
+                    and self.computed >= interrupt_after:
+                lost = journal.crash(torn=torn)
+                obs_of(sim).events.emit(
+                    "durable.sweep.crashed", sweep=self.sweep_id,
+                    completed=index, lost_records=lost)
+                span.finish(error=f"executor crashed after "
+                                  f"{self.computed} runs")
+                return None
+            params = parameter_sets[index]
+            value = self.runner.run_one(params, capture_errors=True)
+            self.computed += 1
+            results.append(value)
+            self._apply_effect(journal, params, value)
+            if (index + 1) % self.checkpoint_every == 0:
+                self._checkpoint(journal, results, index + 1)
+        if interrupt_after is not None \
+                and self.computed >= interrupt_after:
+            # crash point landed on the final evaluation
+            lost = journal.crash(torn=torn)
+            obs_of(sim).events.emit(
+                "durable.sweep.crashed", sweep=self.sweep_id,
+                completed=len(parameter_sets), lost_records=lost)
+            span.finish(error=f"executor crashed after "
+                              f"{self.computed} runs")
+            return None
+        journal.append(j.DONE, outputs_repr=f"{len(results)} results")
+        journal.release(self.owner)
+        span.set_attribute("computed", self.computed)
+        span.set_attribute("effects_applied", self.effects_applied)
+        span.finish()
+        return results
+
+    def _replay(self, journal: j.RunJournal):
+        from repro.durable.state import replay
+        return replay(journal.records(), run_id=self.sweep_id)
+
+    def _apply_effect(self, journal: j.RunJournal,
+                      params: Dict[str, float], value: Any) -> None:
+        """Publish the result under its run key, at most once ever."""
+        if self.effects is None:
+            return
+        key = self.runner.key_of(params)
+        if self.effects.exists(key):
+            self.effects_deduped += 1
+            return
+        self.effects.put(key, value)
+        self.effects_applied += 1
+        # bookkeeping only — dedup correctness comes from the existence
+        # check above, so EFFECT records ride to the next fsync point
+        journal.append(j.EFFECT, sync=False, key=key)
+
+    def _checkpoint(self, journal: j.RunJournal,
+                    results: List[Any], completed: int) -> None:
+        payload_key = self.store.put_payload(
+            f"{self.sweep_id}/ckpt-{completed:06d}", list(results))
+        journal.append(j.CHECKPOINT, completed=completed,
+                       payload=payload_key)
+        self.checkpoints_written += 1
+        obs_of(self.store.sim).events.emit(
+            "durable.sweep.checkpoint", sweep=self.sweep_id,
+            completed=completed)

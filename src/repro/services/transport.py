@@ -123,6 +123,7 @@ class Network:
         self.base_latency = base_latency
         self.latency_jitter = latency_jitter
         self._endpoints: Dict[str, tuple] = {}  # address -> (server, instance)
+        self._partitions: set = set()           # frozenset({a, b}) pairs
         self.total_requests = 0
         self.total_bytes = 0.0
 
@@ -138,6 +139,23 @@ class Network:
         """Whether anything is exposed at ``address``."""
         return address in self._endpoints
 
+    def partition(self, a: str, b: str) -> None:
+        """Cut connectivity between ``a`` and ``b`` (both directions).
+
+        Partitioned traffic is *dropped*, not refused: the caller sees a
+        timeout, exactly like a blackholed NIC — which is what makes
+        split-brain scenarios interesting for lease-based ownership.
+        """
+        self._partitions.add(frozenset((a, b)))
+
+    def heal_partition(self, a: str, b: str) -> None:
+        """Restore connectivity between ``a`` and ``b`` (idempotent)."""
+        self._partitions.discard(frozenset((a, b)))
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        """Whether traffic between ``a`` and ``b`` is currently cut."""
+        return frozenset((a, b)) in self._partitions
+
     def _latency(self) -> float:
         jitter = self.streams.get("network.latency").uniform(0, self.latency_jitter)
         return self.base_latency + jitter
@@ -145,13 +163,17 @@ class Network:
     def request(self, address: str, request: HttpRequest,
                 timeout: float = DEFAULT_TIMEOUT,
                 extra_request_bytes: int = 0,
-                extra_response_bytes: int = 0) -> Signal:
+                extra_response_bytes: int = 0,
+                source: Optional[str] = None) -> Signal:
         """Send ``request`` to ``address``.
 
         Returns a signal fired with an :class:`HttpResponse`, a
         :class:`ConnectionRefused` or a :class:`RequestTimeout`.  The
         ``extra_*_bytes`` hooks let protocol layers (SOAP envelopes)
         charge their framing overhead without re-implementing routing.
+        ``source`` is the caller's address, used only to honour network
+        partitions — partitioned traffic is dropped (timeout), never
+        refused.
         """
         reply = self.sim.signal(f"net.{address}.{request.method}.{request.path}")
         self.total_requests += 1
@@ -197,6 +219,8 @@ class Network:
                                                           after_seconds=timeout))
 
         def deliver() -> None:
+            if source is not None and self.is_partitioned(source, address):
+                return  # dropped on the floor; the timeout settles it
             endpoint = self._endpoints.get(address)
             if endpoint is None:
                 self._settle(reply, timeout_handle,
@@ -222,6 +246,10 @@ class Network:
                 response_bytes = response.wire_bytes() + extra_response_bytes
                 if not instance.is_serving or instance.network_blackholed:
                     # response never makes it onto the wire; caller times out
+                    return
+                if (source is not None
+                        and self.is_partitioned(source, address)):
+                    # partition opened mid-request: the response is lost
                     return
                 if reply.fired:
                     # the caller already saw a timeout: the late response

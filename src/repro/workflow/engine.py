@@ -50,6 +50,9 @@ class RunRecord:
     stages: List[StageRecord] = field(default_factory=list)
     outputs: Dict[str, Any] = field(default_factory=dict)
     trace_id: Optional[str] = None
+    #: set on failed runs: a :class:`~repro.workflow.cloud.StageFailure`
+    #: (or similar typed error) instead of a bare exception
+    failure: Optional[Any] = None
 
     def cache_hits(self) -> int:
         """Stages served from cache."""
@@ -68,7 +71,8 @@ class WorkflowEngine:
     time, or leave the default monotonic counter for pure library use.
     """
 
-    def __init__(self, clock=None, tracer=None):
+    def __init__(self, clock=None, tracer=None, store=None,
+                 executor_id: str = "local"):
         self._cache: Dict[str, Any] = {}
         self._runs: List[RunRecord] = []
         self._counter = itertools.count()
@@ -78,17 +82,29 @@ class WorkflowEngine:
         #: parented under whatever span is active (e.g. the instance job
         #: whose ``compute`` invoked this engine)
         self.tracer = tracer
+        #: optional :class:`~repro.durable.journal.JournalStore`; when
+        #: set, runs are journaled (SCHEDULED/STARTED/CHECKPOINT/DONE)
+        #: so a crashed executor's progress can be recovered
+        self.store = store
+        self.executor_id = executor_id
 
     def run(self, workflow: Workflow,
-            parameters: Optional[Dict[str, Any]] = None) -> RunRecord:
-        """Execute ``workflow`` with ``parameters``; returns provenance."""
+            parameters: Optional[Dict[str, Any]] = None,
+            run_id: Optional[str] = None) -> RunRecord:
+        """Execute ``workflow`` with ``parameters``; returns provenance.
+
+        Pass ``run_id`` to resume (or re-execute) a journaled run under
+        its original identity — recovery uses this so the journal stays
+        one stream per logical run.
+        """
         workflow.validate()
         params = dict(parameters or {})
         record = RunRecord(
-            run_id=f"run-{next(_run_ids):05d}",
+            run_id=run_id or f"run-{next(_run_ids):05d}",
             workflow=workflow.name,
             parameters=params,
         )
+        journal = self._open_journal(record, params)
         run_span = None
         if self.tracer is not None:
             run_span = self.tracer.start_span(
@@ -126,12 +142,40 @@ class WorkflowEngine:
                 started_at=started,
                 finished_at=self._clock(),
             ))
+            self._journal_stage(journal, record.stages[-1], output)
         record.outputs = outputs
+        if journal is not None:
+            journal.append("DONE", outputs_repr=_short_repr(outputs))
         if run_span is not None:
             run_span.set_attribute("cache_hits", record.cache_hits())
             run_span.finish()
         self._runs.append(record)
         return record
+
+    def _open_journal(self, record: RunRecord, params: Dict[str, Any]):
+        """Write-ahead SCHEDULED + STARTED before any stage executes."""
+        if self.store is None:
+            return None
+        from repro.durable.journal import jsonable
+        journal = self.store.open_or_create(record.run_id)
+        if not journal.records():
+            ok, clean = jsonable(params)
+            journal.append("SCHEDULED", sync=False, workflow=record.workflow,
+                           parameters=clean if ok else {})
+        journal.append("STARTED", owner=self.executor_id)
+        return journal
+
+    def _journal_stage(self, journal, stage: StageRecord,
+                       output: Any) -> None:
+        """CHECKPOINT a completed stage, with its output when JSON-able."""
+        if journal is None:
+            return
+        from repro.durable.journal import jsonable
+        ok, clean = jsonable(output)
+        journal.append("CHECKPOINT", node_id=stage.node_id,
+                       cache_key=stage.cache_key, cached=stage.cached,
+                       replayable=ok, output=clean if ok else None,
+                       output_repr=stage.output_repr)
 
     def runs(self) -> List[RunRecord]:
         """Every run executed by this engine, oldest first."""
@@ -140,6 +184,20 @@ class WorkflowEngine:
     def invalidate(self) -> None:
         """Drop the stage cache (force full recomputation)."""
         self._cache.clear()
+
+    def seed_cache(self, entries) -> int:
+        """Pre-load ``(cache_key, output)`` pairs (journal replay).
+
+        Recovery seeds a replacement engine's cache from the crashed
+        run's durable CHECKPOINT records, so completed stages replay as
+        cache hits and only in-flight work re-executes.
+        """
+        count = 0
+        for key, output in entries:
+            if key not in self._cache:
+                self._cache[key] = output
+                count += 1
+        return count
 
     def _cache_key(self, node: WorkflowNode, params: Dict[str, Any],
                    upstream_keys: Dict[str, str]) -> str:

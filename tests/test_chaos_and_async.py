@@ -39,7 +39,7 @@ def test_journeys_survive_background_crashes():
     assert len(completed) == 6, [
         (j.user_name, [s.name for s in j.log.steps]) for j in journeys]
     # crashes really happened and were recovered
-    crashes = [e for e in evop.injector.injected if e[1] == "crash"]
+    crashes = [e for e in evop.injector.injected if e.kind == "crash"]
     assert crashes
     detected = [e for e in evop.lb.events if e["event"] == "fault.detected"]
     assert detected

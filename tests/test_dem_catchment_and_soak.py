@@ -84,7 +84,7 @@ def test_soak_availability_under_sustained_churn():
 
     assert outcomes["ok"] + outcomes["failed"] == total
     availability = outcomes["ok"] / total
-    crashes = [e for e in evop.injector.injected if e[1] == "crash"]
+    crashes = [e for e in evop.injector.injected if e.kind == "crash"]
     assert crashes, "the soak must actually have injected faults"
     assert availability >= 0.9, outcomes
     # and the estate healed

@@ -1,0 +1,301 @@
+"""Durable execution: journal mechanics, replay, checkpointed sweeps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import BlobStore, StorageUnavailable
+from repro.durable import (
+    DurableSweep,
+    Fenced,
+    JournalRecord,
+    JournalStore,
+    LeaseError,
+    replay,
+)
+from repro.durable import journal as j
+from repro.obs.hub import obs_of
+from repro.perf.runcache import RunCache
+from repro.perf.runner import EnsembleRunner
+from repro.sim import Simulator
+from repro.workflow import Workflow, WorkflowEngine, WorkflowNode
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def blobstore(sim):
+    return BlobStore(sim, name="durability")
+
+
+@pytest.fixture()
+def store(sim, blobstore):
+    return JournalStore(sim, blobstore)
+
+
+# -- record format ----------------------------------------------------------
+
+
+def test_record_round_trips_with_crc():
+    record = JournalRecord(seq=3, time=12.5, run_id="r-1",
+                           kind=j.CHECKPOINT, payload={"node_id": "a"})
+    text = record.to_text()
+    assert JournalRecord.parse(text) == record
+
+
+def test_corrupt_and_torn_records_fail_parse():
+    record = JournalRecord(seq=0, time=0.0, run_id="r", kind=j.DONE,
+                           payload={})
+    text = record.to_text()
+    assert JournalRecord.parse(text[: len(text) * 2 // 3]) is None
+    assert JournalRecord.parse(text.replace('"seq":0', '"seq":9')) is None
+    assert JournalRecord.parse(None) is None
+    assert JournalRecord.parse("not a record") is None
+
+
+# -- append / sync / crash --------------------------------------------------
+
+
+def test_unsynced_tail_lost_on_crash(store):
+    journal = store.create("run-a")
+    journal.append(j.SCHEDULED, workflow="wf")          # synced
+    journal.append(j.STARTED, sync=False, owner="x")    # buffered
+    journal.append(j.CHECKPOINT, sync=False, node_id="s1")
+    assert journal.pending() == 2
+    assert journal.crash() == 2
+    reopened = store.open("run-a")
+    kinds = [r.kind for r in reopened.records()]
+    assert kinds == [j.SCHEDULED]
+
+
+def test_torn_tail_truncated_on_open(sim, store):
+    journal = store.create("run-b")
+    journal.append(j.SCHEDULED, workflow="wf")
+    journal.append(j.STARTED, sync=False, owner="x")
+    journal.crash(torn=True)  # leaves a truncated blob behind
+    reopened = store.open("run-b")
+    assert reopened.truncated_records == 1
+    assert [r.kind for r in reopened.records()] == [j.SCHEDULED]
+    truncations = [e for e in obs_of(sim).events.events()
+                   if e.kind == "durable.journal.truncated"]
+    assert truncations
+    # appending after truncation reuses the cleaned sequence number
+    reopened.append(j.STARTED, owner="y")
+    assert [r.seq for r in reopened.records()] == [0, 1]
+
+
+def test_storage_outage_blocks_the_journal(blobstore, store):
+    journal = store.create("run-c")
+    journal.append(j.SCHEDULED, workflow="wf")
+    blobstore.set_fault("unavailable")
+    with pytest.raises(StorageUnavailable):
+        journal.append(j.STARTED, owner="x")
+    blobstore.clear_fault()
+    journal._tail.clear()  # the failed append never became durable
+    journal.append(j.STARTED, owner="x")
+    assert [r.kind for r in store.open("run-c").records()] == \
+        [j.SCHEDULED, j.STARTED]
+
+
+# -- leases -----------------------------------------------------------------
+
+
+def test_lease_acquire_renew_release(sim, store):
+    journal = store.create("run-d")
+    epoch = journal.acquire("exec-a", ttl=60.0)
+    assert epoch == 1
+    assert journal.owner_at() == "exec-a"
+    with pytest.raises(LeaseError):
+        store.open("run-d").acquire("exec-b", ttl=60.0)
+    sim.run(until=30.0)
+    assert journal.renew("exec-a", ttl=60.0) == 1
+    journal.release("exec-a")
+    assert journal.owner_at() is None
+    # after release anyone may take it, at a bumped epoch
+    assert store.open("run-d").acquire("exec-b", ttl=60.0) == 2
+
+
+def test_expired_lease_takeover_fences_old_owner(sim, store):
+    journal_a = store.create("run-e")
+    journal_a.acquire("exec-a", ttl=60.0)
+    journal_a.append(j.STARTED, owner="exec-a")
+    sim.run(until=61.0)  # lease lapses
+    journal_b = store.open("run-e")
+    assert journal_b.acquire("exec-b", ttl=60.0) == 2
+    # the old owner comes back from its blackhole and tries to write
+    with pytest.raises(Fenced):
+        journal_a.append(j.CHECKPOINT, node_id="s1")
+    # and cannot renew either
+    with pytest.raises(LeaseError):
+        journal_a.renew("exec-a", ttl=60.0)
+    assert journal_a.owner_at() == "exec-b"
+
+
+# -- replay consistency (property) ------------------------------------------
+
+
+_OPS = st.lists(st.sampled_from(
+    ["start", "adopt", "stage-a", "stage-b", "effect-1", "effect-2",
+     "lease", "checkpoint", "done", "fail"]), max_size=24)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=_OPS)
+def test_replay_of_any_prefix_is_consistent(ops):
+    sim = Simulator()
+    store = JournalStore(sim, BlobStore(sim))
+    journal = store.create("run-p")
+    journal.append(j.SCHEDULED, workflow="wf", parameters={"x": 1})
+    for op in ops:
+        if op == "start":
+            journal.append(j.STARTED, owner="exec-a")
+        elif op == "adopt":
+            journal.append(j.ADOPTED, owner="exec-b", previous="exec-a")
+        elif op.startswith("stage-"):
+            journal.append(j.CHECKPOINT, node_id=op, cache_key=f"k-{op}",
+                           replayable=True, output={"v": op})
+        elif op.startswith("effect-"):
+            journal.append(j.EFFECT, key=op)
+        elif op == "lease":
+            journal.append(j.LEASE, owner="exec-a", epoch=1,
+                           expires=sim.now + 60.0, ttl=60.0)
+        elif op == "checkpoint":
+            journal.append(j.CHECKPOINT, completed=3, payload="p/ckpt")
+        elif op == "done":
+            journal.append(j.DONE, outputs_repr="{}")
+        elif op == "fail":
+            journal.append(j.FAILED, error="boom", stage="stage-a")
+    records = journal.records()
+    previous_rank = -1
+    from repro.durable.state import STATUSES
+    for cut in range(len(records) + 1):
+        state = replay(records[:cut], run_id="run-p")
+        # status only moves forward along the lifecycle as records grow
+        rank = STATUSES.index(state.status)
+        assert rank >= previous_rank
+        previous_rank = rank
+        # every completed stage has a stage record; effects are unique
+        assert set(state.completed) <= set(state.stages)
+        assert len(state.completed) == len(set(state.completed))
+        assert len(state.effects) == len(set(state.effects))
+        assert state.adoptions <= max(state.attempts, state.adoptions)
+        # cache entries only come from replayable completed stages
+        for key, _value in state.cache_entries():
+            assert key is not None
+        if cut and records[:cut][-1].kind == j.DONE:
+            assert state.terminal
+
+
+# -- journaled WorkflowEngine -----------------------------------------------
+
+
+def _workflow():
+    wf = Workflow("local-study")
+    wf.add(WorkflowNode("a", lambda p, u: {"x": p["depth"] * 2},
+                        params_used=("depth",)))
+    wf.add(WorkflowNode("b", lambda p, u: {"y": u["a"]["x"] + 1},
+                        depends_on=("a",)))
+    return wf
+
+
+def test_workflow_engine_journals_lifecycle(store):
+    engine = WorkflowEngine(store=store, executor_id="exec-a")
+    record = engine.run(_workflow(), {"depth": 3.0})
+    kinds = [r.kind for r in store.open(record.run_id).records()]
+    assert kinds == [j.SCHEDULED, j.STARTED, j.CHECKPOINT, j.CHECKPOINT,
+                     j.DONE]
+    state = replay(store.open(record.run_id).records())
+    assert state.terminal and state.status == "done"
+    assert state.completed == ["a", "b"]
+    assert state.parameters == {"depth": 3.0}
+
+
+def test_seed_cache_replays_completed_stages(store):
+    first = WorkflowEngine(store=store, executor_id="exec-a")
+    record = first.run(_workflow(), {"depth": 3.0})
+    state = replay(store.open(record.run_id).records())
+    # a cold replacement engine seeded from the journal recomputes nothing
+    replacement = WorkflowEngine(store=store, executor_id="exec-b")
+    assert replacement.seed_cache(state.cache_entries()) == 2
+    rerun = replacement.run(_workflow(), {"depth": 3.0},
+                            run_id=record.run_id)
+    assert rerun.recomputed() == []
+    assert rerun.outputs == record.outputs
+
+
+# -- DurableSweep -----------------------------------------------------------
+
+
+def _sweep_fixture(sim, blobstore, store, calls):
+    def simulate(params):
+        calls.append(dict(params))
+        return {"peak": params["m"] * 3.0 + 1.0}
+
+    effects = blobstore.create_container("results")
+    runner = EnsembleRunner(simulate, model_id="toy", forcing="storm",
+                            cache=RunCache(max_entries=512))
+    return runner, effects
+
+
+def test_sweep_completes_and_publishes_effects_once(sim, blobstore, store):
+    calls = []
+    runner, effects = _sweep_fixture(sim, blobstore, store, calls)
+    params = [{"m": float(i)} for i in range(20)]
+    sweep = DurableSweep(runner, store, "sweep-1", checkpoint_every=5,
+                         effects=effects, owner="exec-a")
+    results = sweep.run(params)
+    assert len(results) == 20
+    assert sweep.effects_applied == 20
+    assert sweep.effects_deduped == 0
+    assert len(effects) == 20
+    state = replay(store.open("sweep-1").records())
+    assert state.terminal
+    assert len(state.effects) == 20
+
+
+def test_sweep_crash_resumes_from_checkpoint(sim, blobstore, store):
+    calls = []
+    runner, effects = _sweep_fixture(sim, blobstore, store, calls)
+    params = [{"m": float(i)} for i in range(40)]
+
+    # fault-free reference run for bit-identical comparison
+    reference = EnsembleRunner(lambda p: {"peak": p["m"] * 3.0 + 1.0},
+                               model_id="toy", forcing="storm")
+    expected = reference.run_many(params)
+
+    sweep = DurableSweep(runner, store, "sweep-2", checkpoint_every=10,
+                         effects=effects, owner="exec-a")
+    assert sweep.run(params, interrupt_after=23) is None
+    assert len(calls) == 23
+
+    # replacement executor: fresh runner (cold cache), same journal
+    calls2 = []
+    runner2, _ = _sweep_fixture(sim, blobstore, store, calls2)
+    resumed = DurableSweep(runner2, store, "sweep-2", checkpoint_every=10,
+                           effects=effects, owner="exec-a")
+    results = resumed.run(params)
+    assert results == expected                      # bit-identical
+    assert resumed.resumed_from == 20               # last checkpoint
+    # wasted recompute bounded by the checkpoint interval
+    assert len(calls2) == len(params) - 20
+    assert len(calls) + len(calls2) - len(params) <= 10
+    # effects were deduplicated, never re-applied
+    assert resumed.effects_deduped == 3             # runs 21-23 re-ran
+    assert len(effects) == len(params)
+
+
+def test_sweep_resumes_after_torn_checkpoint_record(sim, blobstore, store):
+    calls = []
+    runner, effects = _sweep_fixture(sim, blobstore, store, calls)
+    params = [{"m": float(i)} for i in range(12)]
+    sweep = DurableSweep(runner, store, "sweep-3", checkpoint_every=4,
+                         effects=effects, owner="exec-a")
+    assert sweep.run(params, interrupt_after=6, torn=True) is None
+    resumed = DurableSweep(runner, store, "sweep-3", checkpoint_every=4,
+                           effects=effects, owner="exec-a")
+    results = resumed.run(params)
+    assert len(results) == 12
+    assert resumed.resumed_from == 4
