@@ -1,0 +1,377 @@
+"""SCHED — the sharded scheduling plane scales placement throughput.
+
+One Load Balancer is a control-plane choke point: every placement scans
+the whole replica estate.  The ``repro.sched`` plane splits that estate
+over N rendezvous-hashed shards, so this bench pins the refactor's three
+claims:
+
+1. **shards=1 is bit-identical to the pre-refactor dispatch paths** —
+   sessions placed through the router, ensembles run with a scheduler
+   attached and workflows dispatched through ``admit_call`` produce
+   exactly the results of the direct paths they replaced;
+2. **aggregate placement throughput scales** — at 8 shards the plane
+   places sessions at >= 3x the single-shard rate (wall clock), because
+   each placement scans only its shard's slice of the estate;
+3. **priority isolation survives sharding** — under a batch-sweep flood
+   the interactive p95 queue wait at 8 shards is no worse than the
+   1-shard baseline (per-shard batch headroom spreads reserved slots
+   across the estate).
+
+Results land in ``BENCH_shard_scaling.json`` at the repo root.  Run as
+a script (``python benchmarks/bench_shard_scaling.py [--quick]``) or
+under pytest like every other bench.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):       # script mode: python benchmarks/bench_...
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.harness import once, print_table
+from repro.broker import (
+    HealthMonitor,
+    LoadBalancer,
+    ManagedService,
+    PrivateFirstPolicy,
+    SessionTable,
+)
+from repro.cloud import (
+    AwsCloud,
+    ImageKind,
+    ImageStore,
+    MEDIUM,
+    MultiCloud,
+    OpenStackCloud,
+)
+from repro.perf.runcache import RunCache
+from repro.perf.runner import EnsembleRunner
+from repro.sched import CapacityLedger, PriorityClass, ShardedRouter
+from repro.services import Network, RestApi, RestServer
+from repro.sim import RandomStreams, Simulator
+from repro.workflow import CloudWorkflowEngine, ServiceCall, Workflow
+from repro.workflow.cloud import service_node
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_FILE = REPO_ROOT / "BENCH_shard_scaling.json"
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+# -- plane construction ------------------------------------------------------
+
+
+class Plane:
+    """A wired control plane with N shards and a warm replica estate."""
+
+    def __init__(self, shards, replicas, sessions_per_replica=8,
+                 strict_capacity=False, batch_headroom=0,
+                 autoscale_interval=1.0e9, seed=42):
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed=seed)
+        self.private = OpenStackCloud(self.sim,
+                                      total_vcpus=4 * MEDIUM.vcpus * replicas,
+                                      streams=self.streams)
+        self.public = AwsCloud(self.sim, streams=self.streams)
+        self.multi = MultiCloud()
+        self.multi.register_compute("private", self.private)
+        self.multi.register_compute("public", self.public)
+        self.network = Network(self.sim, streams=self.streams)
+        self.sessions = SessionTable(self.sim)
+        self.monitor = HealthMonitor(self.sim, interval=1.0e9, window=3)
+        self.ledger = CapacityLedger(self.sim)
+        self.lbs = [
+            LoadBalancer(self.sim, self.multi, self.network, self.sessions,
+                         PrivateFirstPolicy(), monitor=self.monitor,
+                         autoscale_interval=autoscale_interval,
+                         shard_id=shard, ledger=self.ledger,
+                         strict_capacity=strict_capacity,
+                         batch_headroom=batch_headroom)
+            for shard in range(shards)]
+        self.lb = self.lbs[0]
+        self.sched = ShardedRouter(self.sim, self.lbs, ledger=self.ledger,
+                                   multicloud=self.multi)
+        self.images = ImageStore()
+        self.image = self.images.create("portal", ImageKind.GENERIC,
+                                        size_gb=1.0)
+        self.api = RestApi("svc")
+        self.api.get("/ping", lambda req, p: {"pong": True})
+        self.api.post("/wps/processes/demo/execute",
+                      lambda req, p: {"outputs": {
+                          "doubled": req.body["inputs"]["x"] * 2}})
+        self.service = ManagedService(
+            name="svc", image=self.image, flavor=MEDIUM,
+            make_server=self._make_server,
+            sessions_per_replica=sessions_per_replica,
+            min_replicas=replicas, max_replicas=replicas)
+
+    def _make_server(self, instance):
+        return RestServer(self.sim, self.api, instance).bind(self.network)
+
+    def warm(self, replicas):
+        """Boot the full estate and prove it is serving."""
+        self.sched.manage(self.service)
+        self.sim.run(until=900.0)
+        serving = sum(len(s.serving()) for s in self.sched.services())
+        assert serving == replicas, f"warm-up: {serving}/{replicas} serving"
+        return self
+
+
+# -- arm 1: shards=1 identity with the pre-refactor paths --------------------
+
+
+def _session_snapshot(via_router, count=200):
+    plane = Plane(shards=1, replicas=4)
+    plane.warm(4)
+    for i in range(count):
+        session = plane.sessions.create(f"user-{i}")
+        if via_router:
+            plane.sched.submit_session(session, "svc")
+        else:
+            plane.lb.place_session(session, "svc")
+    plane.sim.run(until=1200.0)
+    return [(s.user_name, s.state.value,
+             None if s.instance is None else s.instance.instance_id,
+             s.wait_time)
+            for s in plane.sessions.all()]
+
+
+def _ensemble_results(with_scheduler):
+    sim = Simulator()
+    router = None
+    if with_scheduler:
+        plane = Plane(shards=1, replicas=1)
+        sim, router = plane.sim, plane.sched
+
+    def simulate(params):
+        return {"peak": params["m"] * 1.7 + 0.5, "volume": params["m"] * 12.0}
+
+    runner = EnsembleRunner(simulate, model_id="identity", forcing="storm",
+                            cache=RunCache(max_entries=1024),
+                            sim=sim, scheduler=router)
+    results = runner.run_many([{"m": float(i)} for i in range(200)])
+    return results, runner.stats()
+
+
+def _workflow_outputs(with_scheduler):
+    plane = Plane(shards=1, replicas=2)
+    plane.warm(2)
+    address = plane.sched.services()[0].serving()[0].address
+    workflow = Workflow("identity")
+    workflow.add(service_node("double", ServiceCall(
+        "demo", lambda: address, lambda p, u: {"x": p["x"]})))
+    workflow.add(service_node("double-again", ServiceCall(
+        "demo", lambda: address, lambda p, u: {"x": u["double"]["doubled"]}),
+        depends_on=("double",)))
+    engine = CloudWorkflowEngine(
+        plane.sim, plane.network,
+        scheduler=plane.sched if with_scheduler else None)
+    done = engine.run(workflow, {"x": 21})
+    plane.sim.run(until=plane.sim.now + 600.0)
+    record = done.value
+    return None if record is None else record.outputs
+
+
+def run_identity():
+    """shards=1 vs the direct dispatch paths, bit for bit."""
+    sessions_direct = _session_snapshot(via_router=False)
+    sessions_routed = _session_snapshot(via_router=True)
+    ens_direct, stats_direct = _ensemble_results(with_scheduler=False)
+    ens_routed, stats_routed = _ensemble_results(with_scheduler=True)
+    wf_direct = _workflow_outputs(with_scheduler=False)
+    wf_routed = _workflow_outputs(with_scheduler=True)
+    return {
+        "sessions_identical": sessions_routed == sessions_direct,
+        "sessions_compared": len(sessions_direct),
+        "ensemble_identical": (ens_routed == ens_direct
+                               and stats_routed == stats_direct),
+        "workflow_identical": (wf_routed is not None
+                               and wf_routed == wf_direct),
+    }
+
+
+# -- arm 2: aggregate placement throughput -----------------------------------
+
+
+def measure_throughput(shards, replicas, placements, seed=42):
+    """Wall-clock placement rate over a warm N-shard estate."""
+    plane = Plane(shards=shards, replicas=replicas, seed=seed)
+    plane.warm(replicas)
+    users = [plane.sessions.create(f"user-{i}") for i in range(placements)]
+    start = time.perf_counter()
+    for session in users:
+        plane.sched.submit_session(session, "svc")
+    wall = time.perf_counter() - start
+    placed = sum(1 for s in users if s.state.value == "active")
+    assert placed == placements, f"{placed}/{placements} placed"
+    return {"shards": shards, "replicas": replicas,
+            "placements": placements, "wall_seconds": wall,
+            "throughput_per_s": placements / max(wall, 1e-9)}
+
+
+def run_scaling(replicas, placements):
+    rows = [measure_throughput(shards, replicas, placements)
+            for shards in SHARD_COUNTS]
+    base = rows[0]["throughput_per_s"]
+    for row in rows:
+        row["speedup"] = row["throughput_per_s"] / max(base, 1e-9)
+    return rows
+
+
+# -- arm 3: interactive isolation under a batch flood ------------------------
+
+
+def measure_isolation(shards, replicas=32, batch_n=300, interactive_n=24,
+                      autoscale_interval=15.0):
+    """Flood the estate with batch work, then let stakeholders arrive.
+
+    Strict-capacity mode with per-shard batch headroom: the sweeps fill
+    every slot they are allowed, interactive sessions use the reserved
+    slots (or queue ahead of the flood and drain first as batch
+    sessions end).  Returns the wait-time distributions per class.
+    """
+    plane = Plane(shards=shards, replicas=replicas, sessions_per_replica=8,
+                  strict_capacity=True, batch_headroom=4,
+                  autoscale_interval=autoscale_interval)
+    plane.warm(replicas)
+    t0 = plane.sim.now
+    batch = [plane.sessions.create(f"sweep-{i}") for i in range(batch_n)]
+    for session in batch:
+        plane.sched.submit_session(session, "svc",
+                                   priority=PriorityClass.BATCH)
+    # the sweeps finish on a staggered schedule, freeing slots
+    for i, session in enumerate(batch):
+        plane.sim.schedule(120.0 + 5.0 * i, session.end)
+    plane.sim.run(until=t0 + 60.0)
+    interactive = [plane.sessions.create(f"stakeholder-{i}")
+                   for i in range(interactive_n)]
+    for session in interactive:
+        plane.sched.submit_session(session, "svc",
+                                   priority=PriorityClass.INTERACTIVE)
+    plane.sim.run(until=t0 + 120.0 + 5.0 * batch_n + 600.0)
+    waits = sorted(s.wait_time for s in interactive
+                   if s.wait_time is not None)
+    assert len(waits) == interactive_n, "interactive sessions left waiting"
+    batch_waits = sorted(s.wait_time for s in batch
+                         if s.wait_time is not None)
+    return {
+        "shards": shards,
+        "interactive_p50": _pct(waits, 0.50),
+        "interactive_p95": _pct(waits, 0.95),
+        "interactive_max": waits[-1],
+        "batch_placed": len(batch_waits),
+        "batch_p50": _pct(batch_waits, 0.50),
+        "batch_p95": _pct(batch_waits, 0.95),
+    }
+
+
+def _pct(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, int(q * len(sorted_values)) - 1))
+    return sorted_values[index]
+
+
+# -- orchestration -----------------------------------------------------------
+
+
+def run_bench(replicas, placements):
+    identity = run_identity()
+    scaling = run_scaling(replicas, placements)
+    isolation = [measure_isolation(shards) for shards in (1, 8)]
+    return {"identity": identity, "scaling": scaling,
+            "isolation": isolation}
+
+
+def report(result):
+    identity = result["identity"]
+    print_table(
+        "shards=1 identity with the pre-refactor dispatch paths",
+        ["path", "identical"],
+        [["broker sessions", identity["sessions_identical"]],
+         ["ensemble batches", identity["ensemble_identical"]],
+         ["workflow stages", identity["workflow_identical"]]])
+    print_table(
+        f"placement throughput - {result['scaling'][0]['replicas']} "
+        f"replicas, {result['scaling'][0]['placements']} placements",
+        ["shards", "wall s", "placements/s", "speedup"],
+        [[r["shards"], r["wall_seconds"], r["throughput_per_s"],
+          f"{r['speedup']:.2f}x"] for r in result["scaling"]])
+    print_table(
+        "interactive isolation under a 300-sweep batch flood (sim s)",
+        ["shards", "interactive p50", "interactive p95",
+         "interactive max", "batch p50", "batch p95"],
+        [[r["shards"], r["interactive_p50"], r["interactive_p95"],
+          r["interactive_max"], r["batch_p50"], r["batch_p95"]]
+         for r in result["isolation"]])
+    RESULT_FILE.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {RESULT_FILE}")
+
+
+def check(result, speedup_floor):
+    failures = []
+    identity = result["identity"]
+    for arm in ("sessions", "ensemble", "workflow"):
+        if not identity[f"{arm}_identical"]:
+            failures.append(f"shards=1 {arm} path is not bit-identical "
+                            f"to the direct path")
+    eight = next(r for r in result["scaling"] if r["shards"] == 8)
+    if eight["speedup"] < speedup_floor:
+        failures.append(f"8-shard placement speedup {eight['speedup']:.2f}x "
+                        f"below {speedup_floor}x")
+    base, sharded = result["isolation"]
+    if sharded["interactive_p95"] > base["interactive_p95"] + 1e-9:
+        failures.append(
+            f"interactive p95 wait regressed under sharding: "
+            f"{sharded['interactive_p95']:.1f}s vs "
+            f"{base['interactive_p95']:.1f}s at one shard")
+    if base["batch_p95"] <= 0.0:
+        failures.append("batch flood never queued - the isolation arm "
+                        "is not exercising priority classes")
+    return failures
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def test_shard_scaling(benchmark):
+    result = once(benchmark, lambda: run_bench(replicas=512,
+                                               placements=3000))
+    report(result)
+    failures = check(result, speedup_floor=3.0)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: smaller estate, relaxed "
+                             "speedup floor")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        result = run_bench(replicas=256, placements=1000)
+        speedup_floor = 1.5    # small estate: keep CI timing-noise safe
+    else:
+        result = run_bench(replicas=512, placements=3000)
+        speedup_floor = 3.0
+    report(result)
+
+    failures = check(result, speedup_floor)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        eight = next(r for r in result["scaling"] if r["shards"] == 8)
+        print(f"\nOK: shards=1 bit-identical on all three paths, "
+              f"8-shard placement {eight['speedup']:.2f}x, interactive "
+              f"p95 {result['isolation'][1]['interactive_p95']:.1f}s vs "
+              f"{result['isolation'][0]['interactive_p95']:.1f}s baseline")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

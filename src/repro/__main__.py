@@ -53,7 +53,7 @@ def run_tour() -> None:
     evop = Evop(EvopConfig(truth_days=8, storm_day=4)).bootstrap()
     evop.run_for(600.0)
     print(f"  instances: {evop.instances_by_location()}")
-    print(f"  services:  {[s.name for s in evop.lb.services()]}")
+    print(f"  services:  {[s.name for s in evop.sched.services()]}")
     print(f"  models:    {[e.name for e in evop.library.list()]}")
 
     print("\nopening the LEFT modelling widget as 'demo-user'...")
@@ -121,7 +121,8 @@ def run_trace(out_path: str) -> None:
         depends_on=("baseline", "scenario")))
 
     engine = CloudWorkflowEngine(evop.sim, evop.network,
-                                 client=evop.resilient)
+                                 client=evop.resilient,
+                                 scheduler=evop.sched)
     done = engine.run(workflow, {"scenario": "storage_ponds",
                                  "duration_hours": 96},
                       parent=widget.session.trace_context)

@@ -18,8 +18,7 @@ instances; everything else asks it.
 from __future__ import annotations
 
 import math
-from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.broker.health import HealthMonitor, HealthVerdict
 from repro.broker.policies import PlacementContext, SchedulingPolicy
@@ -30,13 +29,23 @@ from repro.cloud.instance import Instance
 from repro.cloud.multicloud import MultiCloud, NodeTemplate
 from repro.obs.hub import obs_of
 from repro.obs.tracer import Span
+from repro.sched.core import Dispatcher, PriorityClass
+from repro.sched.ledger import CapacityLedger
 from repro.services.registry import ServiceRecord, ServiceRegistry
 from repro.services.transport import Network
 from repro.sim import MetricsRegistry, Signal, Simulator
 
 
 class LoadBalancer:
-    """Pool manager for every :class:`ManagedService`."""
+    """Pool manager for every :class:`ManagedService`.
+
+    Session queueing runs on the scheduling substrate: one
+    :class:`~repro.sched.core.Dispatcher` holds the per-service class
+    queues (interactive > workflow > batch, FIFO within a class), and
+    in a sharded plane this LB is one shard of N, reporting launches
+    and retirements into a shared
+    :class:`~repro.sched.ledger.CapacityLedger`.
+    """
 
     def __init__(self, sim: Simulator, multicloud: MultiCloud, network: Network,
                  sessions: SessionTable, policy: SchedulingPolicy,
@@ -45,7 +54,13 @@ class LoadBalancer:
                  private_location: str = "private",
                  public_location: str = "public",
                  autoscale_interval: float = 15.0,
-                 breakers=None):
+                 breakers=None,
+                 shard_id: int = 0,
+                 ledger: Optional[CapacityLedger] = None,
+                 dispatcher: Optional[Dispatcher] = None,
+                 strict_capacity: bool = False,
+                 batch_headroom: int = 0,
+                 queue_bounds: Optional[Dict[PriorityClass, int]] = None):
         self.sim = sim
         self.multicloud = multicloud
         self.network = network
@@ -60,13 +75,25 @@ class LoadBalancer:
         #: shared BreakerRegistry; per-location launch breakers stop the
         #: LB hammering a provider whose control plane keeps refusing
         self.breakers = breakers
+        #: which control-plane shard this LB is (0 when unsharded)
+        self.shard_id = shard_id
+        #: shared deployment-wide capacity/cloudburst book (optional)
+        self.ledger = ledger
+        #: hard per-replica session cap (sessions_per_replica) when True;
+        #: the pre-refactor behaviour piles sessions without bound
+        self.strict_capacity = strict_capacity
+        #: free slots batch-class placements must leave for higher classes
+        #: (strict mode only)
+        self.batch_headroom = batch_headroom
         #: accept-queue bound per replica, as a multiple of its vCPUs;
         #: None disables back-pressure (the ablation baseline)
         self.queue_bound_factor: Optional[int] = 4
         self.metrics = MetricsRegistry(sim, namespace="lb")
+        self.dispatcher = dispatcher if dispatcher is not None else Dispatcher(
+            sim, shard_id=shard_id, metrics=self.metrics.sub("sched"),
+            bounds=queue_bounds)
         self.events: List[Dict] = []
         self._services: Dict[str, ManagedService] = {}
-        self._waiting: Dict[str, Deque[UserSession]] = {}
         self._place_spans: Dict[str, Span] = {}  # session_id -> open span
         self._replacing: set = set()
         self._autoscaler_running = False
@@ -81,7 +108,7 @@ class LoadBalancer:
         if service.name in self._services:
             raise ValueError(f"service {service.name!r} already managed")
         self._services[service.name] = service
-        self._waiting[service.name] = deque()
+        self.dispatcher.register(service.name)
         count = (initial_replicas if initial_replicas is not None
                  else service.min_replicas)
         for _ in range(count):
@@ -107,36 +134,85 @@ class LoadBalancer:
 
     # -- placement ----------------------------------------------------------------
 
-    def place_session(self, session: UserSession, service_name: str) -> None:
+    def place_session(self, session: UserSession, service_name: str,
+                      priority: PriorityClass = PriorityClass.INTERACTIVE
+                      ) -> None:
         """Assign ``session`` to the least-loaded replica, or queue it.
 
-        Queued sessions are drained as soon as a replica boots — the
+        ``priority`` is the session's scheduling class; queued sessions
+        wait in their class queue (interactive ahead of workflow ahead
+        of batch) and drain in that order as capacity appears.  The
         session wait-time recorder is the QoS series the flash-crowd
         bench reports.
         """
         service = self._services[service_name]
+        session.priority = priority
         span: Optional[Span] = None
         if session.trace_context is not None:
             span = obs_of(self.sim).tracer.start_span(
                 "lb.place", parent=session.trace_context, kind="placement",
                 attributes={"service": service_name,
-                            "session": session.session_id})
-        replica = service.least_loaded()
+                            "session": session.session_id,
+                            "shard": self.shard_id,
+                            "class": priority.name.lower()})
+        replica = self._candidate_replica(service, priority)
         if replica is not None:
             session.assign(replica)
+            self.dispatcher.placed_now(service_name, priority)
             self.metrics.recorder("session.wait").record(session.wait_time or 0.0)
             if span is not None:
                 span.set_attribute("instance", replica.instance_id)
                 span.finish()
         else:
+            accepted = self.dispatcher.enqueue(
+                service_name, session, priority,
+                item_id=session.session_id,
+                trace_parent=session.trace_context)
+            if not accepted:
+                # the class queue is full: shed instead of queueing the
+                # lowest-value work forever (bounded-queue back-pressure)
+                self.metrics.counter("sched.shed").increment()
+                self._log("shed", session=session.session_id,
+                          service=service_name,
+                          priority=priority.name.lower())
+                if span is not None:
+                    span.finish(error="shed: class queue full")
+                return
             # the placement span stays open across the queue wait; it
             # closes when a booted replica drains this session
             if span is not None:
-                span.annotate("queued", waiting=len(self._waiting[service_name]))
+                span.annotate("queued",
+                              waiting=self.dispatcher.depth(service_name))
                 self._place_spans[session.session_id] = span
-            self._waiting[service_name].append(session)
             if service.projected_size() == 0:
                 self.scale_up(service)
+
+    def _candidate_replica(self, service: ManagedService,
+                           priority: PriorityClass) -> Optional[Instance]:
+        """The replica this placement may use right now, if any.
+
+        Pre-refactor semantics (``strict_capacity`` off): any serving
+        replica, least-loaded first.  In strict mode
+        ``sessions_per_replica`` is a hard per-replica cap and batch
+        placements must additionally leave ``batch_headroom`` free
+        slots for interactive/workflow arrivals — how a sweep saturates
+        the cluster without harming portal sessions.
+        """
+        if not self.strict_capacity:
+            return service.least_loaded()
+        candidates = service.healthy_serving() or service.serving()
+        counts = {inst.instance_id: len(self.sessions.on_instance(inst))
+                  for inst in candidates}
+        open_slots = [inst for inst in candidates
+                      if counts[inst.instance_id] < service.sessions_per_replica]
+        if not open_slots:
+            return None
+        if priority == PriorityClass.BATCH:
+            free = sum(service.sessions_per_replica - counts[inst.instance_id]
+                       for inst in open_slots)
+            if free <= self.batch_headroom:
+                return None
+        return min(open_slots, key=lambda inst: counts[inst.instance_id])
 
     def _finish_place_span(self, session: UserSession,
                            replica: Optional[Instance]) -> None:
@@ -150,17 +226,33 @@ class LoadBalancer:
             span.finish(error="session ended while waiting")
 
     def _drain_waiting(self, service: ManagedService) -> None:
-        queue = self._waiting[service.name]
-        while queue:
-            replica = service.least_loaded()
+        while True:
+            next_class = self.dispatcher.next_class(service.name)
+            if next_class is None:
+                return
+            replica = self._candidate_replica(service, next_class)
             if replica is None:
                 return
-            session = queue.popleft()
+            entry = self.dispatcher.dequeue(service.name)
+            if entry is None:
+                return
+            session, cls = entry
             if session.state.value == "ended":
                 self._finish_place_span(session, None)
+                self.dispatcher.finish_submit_span(
+                    session.session_id, error="session ended while waiting")
                 continue
             session.assign(replica)
             self._finish_place_span(session, replica)
+            self.dispatcher.finish_submit_span(
+                session.session_id, instance=replica.instance_id)
+            if session.trace_context is not None:
+                obs_of(self.sim).tracer.start_span(
+                    "sched.place", parent=session.trace_context, kind="sched",
+                    attributes={"service": service.name,
+                                "shard": self.shard_id,
+                                "class": cls.name.lower(),
+                                "instance": replica.instance_id}).finish()
             self.metrics.recorder("session.wait").record(session.wait_time or 0.0)
 
     # -- scaling ---------------------------------------------------------------------
@@ -185,6 +277,14 @@ class LoadBalancer:
                 self._log("launch.skipped", service=service.name,
                           location=location)
                 continue
+            if self.ledger is not None and \
+                    not self.ledger.admit(location, service.flavor.vcpus):
+                # the deployment-wide budget (all shards) is spent here
+                self.metrics.counter(
+                    f"launch.quota_refused.{location}").increment()
+                self._log("launch.quota_refused", service=service.name,
+                          location=location)
+                continue
             try:
                 instance = self.multicloud.compute(location).launch(
                     service.image, service.flavor)
@@ -201,6 +301,9 @@ class LoadBalancer:
             self._log("scaleup.refused", service=service.name)
             return None
         service.pending_launches += 1
+        if self.ledger is not None:
+            self.ledger.commit(chosen_location, service.flavor.vcpus,
+                               public=chosen_location == self.public_location)
         self._update_burst_state(chosen_location)
         self.metrics.counter(f"launch.{chosen_location}").increment()
         self._log("launch", service=service.name, location=chosen_location,
@@ -211,6 +314,7 @@ class LoadBalancer:
             service.pending_launches -= 1
             if booted is None or not instance.is_serving:
                 self._log("boot.failed", instance=instance.instance_id)
+                self._ledger_release(instance, service)
                 return
             # bounded accept queue: overload turns into fast 503s the
             # client retries elsewhere, not hour-long queueing
@@ -246,7 +350,8 @@ class LoadBalancer:
         if len(serving) <= service.min_replicas:
             return False
         public = [inst for inst in serving
-                  if self._location_of(inst) == self.public_location]
+                  if self.multicloud.location_of(inst, default="unknown")
+                  == self.public_location]
         candidates = public or serving
         # graceful drain: only retire replicas with no in-flight work, so
         # no caller ever loses a response to a scale-down
@@ -269,22 +374,41 @@ class LoadBalancer:
         self.monitor.unwatch(instance)
         self.registry.deregister(service.name, instance.address)
         self.network.unregister(instance.address)
+        self._ledger_release(instance, service)
         if not instance.is_gone:
             self.multicloud.destroy_node(instance)
 
+    def _ledger_release(self, instance: Instance,
+                        service: ManagedService) -> None:
+        if self.ledger is None:
+            return
+        location = self.multicloud.location_of(instance, default="unknown")
+        self.ledger.release(location, service.flavor.vcpus,
+                            public=location == self.public_location)
+
     def _migrate_sessions(self, source: Instance, service: ManagedService,
                           reason: str) -> None:
+        displaced: List[UserSession] = []
         for session in self.sessions.on_instance(source):
             target = min(
                 (inst for inst in service.serving() if inst is not source),
                 key=lambda inst: inst.load(), default=None)
             if target is None:
                 session.unassign()
-                self._waiting[service.name].append(session)
+                displaced.append(session)
             else:
                 session.assign(target)
             self.metrics.counter("migrations").increment()
             self._log("migrate", session=session.session_id, reason=reason)
+        if displaced:
+            # displaced sessions already waited their turn once: they
+            # re-enter at the *head* of their class queue, in their
+            # original order, ahead of any fresh arrivals
+            for cls in PriorityClass:
+                batch = [s for s in displaced
+                         if (s.priority or PriorityClass.INTERACTIVE) == cls]
+                if batch:
+                    self.dispatcher.requeue_front(service.name, batch, cls)
 
     def drain(self, instance: Instance) -> Signal:
         """Gracefully retire one replica on operator request.
@@ -350,7 +474,7 @@ class LoadBalancer:
     def _autoscale_service(self, service: ManagedService) -> None:
         demand = (sum(len(self.sessions.on_instance(inst))
                       for inst in service.serving())
-                  + len(self._waiting[service.name]))
+                  + self.dispatcher.depth(service.name))
         desired = max(service.min_replicas,
                       min(service.max_replicas,
                           math.ceil(demand / service.sessions_per_replica)))
@@ -364,6 +488,11 @@ class LoadBalancer:
                 if not self.scale_down(service):
                     break
         self._rebalance(service)
+        # strict-capacity mode can leave queued work while replicas have
+        # open slots (sessions ended, headroom freed) — drain it here;
+        # in default mode a non-empty queue implies nothing is serving,
+        # so this pass is a no-op and behaviour is unchanged
+        self._drain_waiting(service)
 
     def _rebalance(self, service: ManagedService) -> None:
         """Even out session counts across serving replicas."""
@@ -388,7 +517,8 @@ class LoadBalancer:
     def _update_burst_state(self, just_launched_location: Optional[str]) -> None:
         public_nodes = [inst for service in self._services.values()
                         for inst in service.replicas
-                        if self._location_of(inst) == self.public_location
+                        if self.multicloud.location_of(inst, default="unknown")
+                        == self.public_location
                         and not inst.is_gone]
         bursting_now = bool(public_nodes) or (
             just_launched_location == self.public_location)
@@ -400,12 +530,6 @@ class LoadBalancer:
             self.cloudbursting = False
             self.metrics.counter("cloudburst.reversals").increment()
             self._log("cloudburst.exit")
-
-    def _location_of(self, instance: Instance) -> str:
-        try:
-            return self.multicloud.location_of(instance)
-        except CloudError:
-            return "unknown"
 
     def _log(self, kind: str, **fields) -> None:
         entry = {"t": self.sim.now, "event": kind}

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cloud.images import ImageKind, MachineImage
+from repro.sched.core import PlacementPolicy
 
 
 @dataclass(frozen=True)
@@ -26,8 +27,13 @@ class PlacementContext:
     purpose: str = "general"     # free-text workload label
 
 
-class SchedulingPolicy(abc.ABC):
-    """Maps a placement context to an ordered location preference."""
+class SchedulingPolicy(PlacementPolicy, abc.ABC):
+    """Maps a placement context to an ordered location preference.
+
+    Extends the scheduling plane's provider-neutral
+    :class:`~repro.sched.core.PlacementPolicy` base, so the dispatch
+    substrate can hold policies without importing the broker layer.
+    """
 
     name: str = "abstract"
 

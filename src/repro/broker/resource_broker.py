@@ -24,14 +24,23 @@ from repro.sim import MetricsRegistry, Simulator
 
 
 class ResourceBroker:
-    """Front door for portal sessions."""
+    """Front door for portal sessions.
+
+    With a ``scheduler`` (a :class:`~repro.sched.router.ShardedRouter`)
+    attached, sessions are submitted through the scheduling plane —
+    rendezvous-routed to a control-plane shard at interactive priority.
+    Without one, placement goes straight to the single Load Balancer
+    (the pre-sharding path, still used by minimal test rigs).
+    """
 
     def __init__(self, sim: Simulator, load_balancer: LoadBalancer,
-                 sessions: SessionTable, gateway: PushGateway):
+                 sessions: SessionTable, gateway: PushGateway,
+                 scheduler: Optional[Any] = None):
         self.sim = sim
         self.lb = load_balancer
         self.sessions = sessions
         self.gateway = gateway
+        self.scheduler = scheduler
         self.metrics = MetricsRegistry(sim, namespace="rb")
 
     def connect(self, user_name: str, service_name: str,
@@ -39,9 +48,9 @@ class ResourceBroker:
         """Open a session for ``user_name`` against ``service_name``.
 
         Establishes a WebSocket connection (unless the caller brings its
-        own channel), creates the session, and asks the LB to place it.
-        The assignment — immediate or after a boot — arrives as a
-        ``session.assign`` push on the channel.
+        own channel), creates the session, and submits it to the
+        scheduling plane.  The assignment — immediate or after a boot —
+        arrives as a ``session.assign`` push on the channel.
         """
         if channel is None:
             channel = self.gateway.connect(user_name)
@@ -57,7 +66,10 @@ class ResourceBroker:
         hub.events.emit("rb.connect", user=user_name, service=service_name,
                         session=session.session_id)
         self.metrics.counter("connects").increment()
-        self.lb.place_session(session, service_name)
+        if self.scheduler is not None:
+            self.scheduler.submit_session(session, service_name)
+        else:
+            self.lb.place_session(session, service_name)
         return session
 
     def disconnect(self, session: UserSession) -> None:
@@ -85,23 +97,34 @@ class ResourceBroker:
         a user visits the portal", trading a little cost for much lower
         first-interaction latency.  The pool floor is raised for
         ``warm_seconds`` so the autoscaler doesn't reap the still-idle
-        warm replicas before the demand they anticipate arrives.
+        warm replicas before the demand they anticipate arrives.  In a
+        sharded plane the warm capacity is spread over every shard
+        hosting a slice of the service.
         """
-        service = self.lb.service(service_name)
+        if self.scheduler is not None:
+            slices = self.scheduler.slices(service_name)
+        else:
+            slices = [(self.lb, self.lb.service(service_name))]
+        shares = _spread(replicas, len(slices))
+        for (lb, service), share in zip(slices, shares):
+            self._preboot_slice(lb, service, share, warm_seconds)
+        obs_of(self.sim).events.emit("rb.preboot", service=service_name,
+                                     replicas=replicas)
+        self.metrics.counter("preboots").increment(replicas)
+
+    def _preboot_slice(self, lb: LoadBalancer, service: Any,
+                       replicas: int, warm_seconds: float) -> None:
         original_floor = service.min_replicas
         target = max(service.projected_size(), original_floor, replicas)
         service.min_replicas = min(target, service.max_replicas)
         while service.projected_size() < service.min_replicas:
-            if self.lb.scale_up(service) is None:
+            if lb.scale_up(service) is None:
                 break
 
         def restore_floor() -> None:
             service.min_replicas = original_floor
 
         self.sim.schedule(warm_seconds, restore_floor)
-        obs_of(self.sim).events.emit("rb.preboot", service=service_name,
-                                     replicas=replicas)
-        self.metrics.counter("preboots").increment(replicas)
 
     def prefetch(self, container: Any, keys: List[str],
                  cache: Dict[str, Any]) -> int:
@@ -113,3 +136,9 @@ class ResourceBroker:
                 loaded += 1
         self.metrics.counter("prefetched").increment(loaded)
         return loaded
+
+
+def _spread(total: int, buckets: int) -> List[int]:
+    """Split ``total`` into ``buckets`` near-equal non-negative parts."""
+    base, extra = divmod(total, buckets)
+    return [base + (1 if i < extra else 0) for i in range(buckets)]

@@ -48,6 +48,10 @@ class UserSession:
         # parks its context here; widgets propagate it on every request
         self.trace_context: Optional[Any] = None
         self.trace_span: Optional[Any] = None
+        # scheduling class (a repro.sched PriorityClass), stamped by the
+        # plane at submission; None means interactive — kept untyped so
+        # the session layer stays below the scheduling substrate
+        self.priority: Optional[Any] = None
 
     @property
     def wait_time(self) -> Optional[float]:

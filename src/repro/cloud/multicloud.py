@@ -128,11 +128,20 @@ class MultiCloud:
         """Terminate a node wherever it lives."""
         self._provider_of(instance).terminate(instance.instance_id)
 
-    def location_of(self, instance: Instance) -> str:
-        """The location label of the provider hosting ``instance``."""
+    def location_of(self, instance: Instance,
+                    default: Optional[str] = None) -> str:
+        """The location label of the provider hosting ``instance``.
+
+        With ``default`` given it is returned instead of raising when
+        no registered provider claims the instance — the public lookup
+        the Load Balancer and admin console use (previously each had a
+        private try/except wrapper).
+        """
         for location, provider in self._computes.items():
             if provider.name == instance.provider_name:
                 return location
+        if default is not None:
+            return default
         raise InstanceNotFound(instance.instance_id)
 
     def list_nodes(self, location: Optional[str] = None) -> List[Instance]:

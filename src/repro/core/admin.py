@@ -32,12 +32,12 @@ class AdminConsole:
         """The machine-readable estate snapshot."""
         evop = self.evop
         services = []
-        for service in evop.lb.services():
+        for service in evop.sched.services():
             replicas = []
             for instance in service.replicas:
                 replicas.append({
                     "id": instance.instance_id,
-                    "location": evop.lb._location_of(instance),
+                    "location": evop.sched.location_of(instance),
                     "state": instance.state.value,
                     "cpu": round(instance.cpu_utilization(), 3),
                     "load": round(instance.load(), 3),
@@ -51,12 +51,16 @@ class AdminConsole:
                 "min": service.min_replicas,
                 "max": service.max_replicas,
             })
-        faults = [e for e in evop.lb.events
+        faults = [e for lb in evop.sched.lbs for e in lb.events
                   if e["event"].startswith("fault.")]
         return {
             "time": evop.sim.now,
             "instances": evop.instances_by_location(),
-            "cloudbursting": evop.lb.cloudbursting,
+            "cloudbursting": evop.sched.cloudbursting,
+            "scheduling": {
+                "shards": evop.sched.shards,
+                "queue_depths": evop.sched.depths(),
+            },
             "services": services,
             "sessions": {
                 "active": len(evop.sessions.active()),
@@ -79,7 +83,7 @@ class AdminConsole:
     def unhealthy_replicas(self) -> List[Dict[str, Any]]:
         """Replicas whose current verdict is not healthy."""
         out = []
-        for service in self.evop.lb.services():
+        for service in self.evop.sched.services():
             for instance in service.replicas:
                 verdict = self.evop.monitor.verdict(instance)
                 if verdict.value != "healthy":

@@ -25,6 +25,10 @@ class EvopConfig:
     sessions_per_replica: int = 8
     min_replicas: int = 1
     max_replicas: int = 64
+    #: control-plane shards in the scheduling plane (repro.sched); 1
+    #: keeps the single-LB behaviour, N>1 rendezvous-hashes sessions
+    #: and runs across N slimmed per-shard Load Balancers
+    shards: int = 1
     catchments: Tuple[str, ...] = ("morland",)
     truth_days: int = 30            # horizon of the synthetic sensor truths
     storm_day: int = 14             # design storm injected mid-horizon
@@ -43,3 +47,5 @@ class EvopConfig:
             raise ValueError("storm_day must fall inside truth_days")
         if self.sessions_per_replica <= 0:
             raise ValueError("sessions_per_replica must be positive")
+        if self.shards <= 0:
+            raise ValueError("shards must be positive")

@@ -52,6 +52,7 @@ from repro.portal.left import LeftTool
 from repro.portal.widgets import WIDGET_RETRY
 from repro.resilience import ResilientClient
 from repro.resilience.client import observed_breakers
+from repro.sched import CapacityLedger, ShardedRouter
 from repro.services.channels import PushGateway
 from repro.services.registry import ServiceRegistry
 from repro.services.transport import Network
@@ -134,11 +135,21 @@ class Evop:
             raise ValueError(f"unknown policy {self.config.policy!r}; "
                              f"choose from {sorted(_POLICIES)}")
         self.policy: SchedulingPolicy = policy_cls()
-        self.lb = LoadBalancer(
-            self.sim, self.multicloud, self.network, self.sessions,
-            self.policy, monitor=self.monitor, registry=self.registry,
-            autoscale_interval=self.config.autoscale_interval,
-            breakers=self.breakers)
+        # the scheduling plane: N per-shard Load Balancers (shard 0 is
+        # also exposed as ``self.lb`` for single-shard callers) sharing
+        # one capacity ledger, fronted by a rendezvous-hashing router
+        self.ledger = CapacityLedger(self.sim)
+        shard_lbs = [
+            LoadBalancer(
+                self.sim, self.multicloud, self.network, self.sessions,
+                self.policy, monitor=self.monitor, registry=self.registry,
+                autoscale_interval=self.config.autoscale_interval,
+                breakers=self.breakers, shard_id=shard_id,
+                ledger=self.ledger)
+            for shard_id in range(self.config.shards)]
+        self.lb = shard_lbs[0]
+        self.sched = ShardedRouter(self.sim, shard_lbs, ledger=self.ledger,
+                                   multicloud=self.multicloud)
         self.multicloud.attach_resilience(self.breakers)
         self.injector = FaultInjector(self.sim, [self.private, self.public],
                                       streams=self.streams,
@@ -190,7 +201,8 @@ class Evop:
         self.sim.run(until=self.sim.now + 120.0)
         gateway = PushGateway(self.sim, gateway_instance,
                               streams=self.streams)
-        self.rb = ResourceBroker(self.sim, self.lb, self.sessions, gateway)
+        self.rb = ResourceBroker(self.sim, self.lb, self.sessions, gateway,
+                                 scheduler=self.sched)
 
     def _publish_models(self, catchment: Catchment) -> None:
         def topmodel_factory(c: Catchment):
@@ -251,7 +263,7 @@ class Evop:
             min_replicas=self.config.min_replicas,
             max_replicas=self.config.max_replicas,
         )
-        self.lb.manage(service)
+        self.sched.manage(service)
 
     def _instrument_catchment(self, catchment: Catchment) -> None:
         """Generate truth series, deploy sensors, fill the catalogue."""
@@ -313,7 +325,7 @@ class Evop:
             raise RuntimeError("call bootstrap() first")
         name = catchment_name or self.config.catchments[0]
         service_name = f"sos-{name}"
-        if any(s.name == service_name for s in self.lb.services()):
+        if any(s.name == service_name for s in self.sched.services()):
             return service_name
         from repro.cloud.flavors import SMALL
         from repro.services.sos import SosService
@@ -326,7 +338,7 @@ class Evop:
         def make_server(instance):
             return sos.replica(instance).bind(self.network)
 
-        self.lb.manage(ManagedService(
+        self.sched.manage(ManagedService(
             name=service_name,
             image=sos_image,
             flavor=SMALL,

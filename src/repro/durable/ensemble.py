@@ -80,11 +80,18 @@ class DurableSweep:
         journal = self.store.open_or_create(self.sweep_id)
         prior = self._replay(journal)
         journal.acquire(self.owner, self.lease_ttl)
+        attributes = {"sweep": self.sweep_id,
+                      "runs": len(parameter_sets),
+                      "checkpoint_every": self.checkpoint_every}
+        scheduler = getattr(self.runner, "scheduler", None)
+        if scheduler is not None:
+            # the sweep rides the scheduling plane as batch-class work;
+            # stamping its shard/class here lines durable sweeps up with
+            # sched.submit spans from sessions and workflow stages
+            attributes["shard"] = scheduler.shard_of(self.runner.model_id)
+            attributes["class"] = "batch"
         span = obs_of(sim).tracer.start_span(
-            "durable.sweep", kind="perf",
-            attributes={"sweep": self.sweep_id,
-                        "runs": len(parameter_sets),
-                        "checkpoint_every": self.checkpoint_every})
+            "durable.sweep", kind="perf", attributes=attributes)
         if not journal.records() or prior.status == "unknown":
             journal.append(j.SCHEDULED, sync=False,
                            workflow=f"sweep:{self.runner.model_id}",

@@ -53,12 +53,17 @@ class EnsembleRunner:
     input order, so the output sequence is identical to a serial run.
     ``sim`` (optional) attaches spans/events to that simulator's
     observability hub so cache behaviour shows up in traces.
+    ``scheduler`` (optional, requires ``sim``) is a
+    :class:`~repro.sched.router.ShardedRouter`; each batch is then
+    scoped as a BATCH-class submission on the scheduling plane, so
+    sweeps share the substrate — and its accounting — with portal
+    sessions and workflow stages.  Results are unchanged either way.
     """
 
     def __init__(self, simulate: Callable[[Dict[str, float]], Any],
                  model_id: str = "model", forcing: str = "",
                  cache: Optional[RunCache] = None,
-                 workers: int = 1, sim=None):
+                 workers: int = 1, sim=None, scheduler=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.simulate = simulate
@@ -67,6 +72,7 @@ class EnsembleRunner:
         self.cache = cache
         self.workers = workers
         self.sim = sim
+        self.scheduler = scheduler if sim is not None else None
 
     # -- single evaluation --------------------------------------------------
 
@@ -106,31 +112,37 @@ class EnsembleRunner:
         the thread pool only reorders *computation*, never results, and
         cache stores happen in first-occurrence order.
         """
+        from contextlib import ExitStack
         span = None
-        if self.sim is not None:
-            from repro.obs.hub import obs_of
-            hub = obs_of(self.sim)
-            hits_before = self.cache.hits if self.cache else 0
-            span = hub.tracer.start_span(
-                f"ensemble.run {self.model_id}", kind="perf",
-                attributes={"runs": len(parameter_sets),
-                            "workers": self.workers})
-        try:
-            if self.workers == 1 or len(parameter_sets) < 2:
-                results = [self.run_one(p, capture_errors)
-                           for p in parameter_sets]
-            else:
-                results = self._run_parallel(parameter_sets, capture_errors)
-        finally:
-            if span is not None:
-                if self.cache is not None:
-                    span.set_attribute(
-                        "cache_hits", self.cache.hits - hits_before)
-                span.finish()
-                hub.events.emit("perf.ensemble.batch",
-                                model=self.model_id,
-                                runs=len(parameter_sets),
-                                workers=self.workers)
+        with ExitStack() as scope:
+            if self.scheduler is not None:
+                scope.enter_context(self.scheduler.batch_submission(
+                    self.model_id, len(parameter_sets), self.workers))
+            if self.sim is not None:
+                from repro.obs.hub import obs_of
+                hub = obs_of(self.sim)
+                hits_before = self.cache.hits if self.cache else 0
+                span = hub.tracer.start_span(
+                    f"ensemble.run {self.model_id}", kind="perf",
+                    attributes={"runs": len(parameter_sets),
+                                "workers": self.workers})
+            try:
+                if self.workers == 1 or len(parameter_sets) < 2:
+                    results = [self.run_one(p, capture_errors)
+                               for p in parameter_sets]
+                else:
+                    results = self._run_parallel(parameter_sets,
+                                                 capture_errors)
+            finally:
+                if span is not None:
+                    if self.cache is not None:
+                        span.set_attribute(
+                            "cache_hits", self.cache.hits - hits_before)
+                    span.finish()
+                    hub.events.emit("perf.ensemble.batch",
+                                    model=self.model_id,
+                                    runs=len(parameter_sets),
+                                    workers=self.workers)
         return results
 
     def _run_parallel(self, parameter_sets: Sequence[Dict[str, float]],

@@ -1,0 +1,305 @@
+"""Provider-neutral dispatch core: priority classes and class queues.
+
+The substrate everything places through.  A :class:`Dispatcher` owns one
+:class:`ClassedQueue` per managed service: three priority classes
+(interactive portal sessions ahead of workflow stages ahead of batch
+sweeps), FIFO within a class, optional per-class bounds that shed the
+lowest-value work instead of queueing it forever, and batch dequeue so a
+freshly booted replica can claim several waiters in one pass.
+
+This module deliberately imports nothing from :mod:`repro.broker` — the
+broker's Load Balancer imports *it*, and the layering (broker, workflow
+and ensemble layers above; one scheduling substrate below) is the point
+of the refactor.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.hub import obs_of
+from repro.sim import Simulator
+
+
+class PriorityClass(enum.IntEnum):
+    """Dispatch priority; lower value wins the next free slot.
+
+    The ordering encodes the paper's QoS stance: a stakeholder waiting
+    at the portal outranks a composed workflow stage, which outranks a
+    parameter-sweep evaluation that nobody is watching in real time.
+    """
+
+    INTERACTIVE = 0
+    WORKFLOW = 1
+    BATCH = 2
+
+
+class PlacementPolicy:
+    """Maps a placement context to an ordered location preference.
+
+    The provider-neutral base the broker's scheduling policies extend
+    (see :mod:`repro.broker.policies`).  Lives here so the dispatch
+    substrate can be typed against policies without importing the
+    broker layer above it.
+    """
+
+    name: str = "abstract"
+
+    def locations(self, context: Any) -> List[str]:
+        """Locations to try, most preferred first."""
+        raise NotImplementedError
+
+
+class ClassedQueue:
+    """Per-priority-class FIFO queues with optional bounds.
+
+    ``bounds`` maps a :class:`PriorityClass` to its maximum depth;
+    classes without a bound queue without limit (the pre-refactor FIFO
+    behaviour).  A push against a full class is *shed* — the caller is
+    told, the shed counter ticks, and nothing is enqueued.
+    """
+
+    def __init__(self, bounds: Optional[Dict[PriorityClass, int]] = None):
+        self._queues: Dict[PriorityClass, Deque[Any]] = {
+            cls: deque() for cls in PriorityClass}
+        self._bounds: Dict[PriorityClass, int] = dict(bounds or {})
+        self.shed: Dict[PriorityClass, int] = {cls: 0 for cls in PriorityClass}
+
+    def push(self, item: Any,
+             priority: PriorityClass = PriorityClass.INTERACTIVE,
+             front: bool = False) -> bool:
+        """Enqueue ``item``; returns ``False`` if its class is full.
+
+        ``front`` re-enters the item at the *head* of its class queue —
+        the migration path: a displaced session has already waited its
+        turn once and must not queue behind fresh arrivals.
+        """
+        queue = self._queues[priority]
+        bound = self._bounds.get(priority)
+        if bound is not None and len(queue) >= bound and not front:
+            self.shed[priority] += 1
+            return False
+        if front:
+            queue.appendleft(item)
+        else:
+            queue.append(item)
+        return True
+
+    def push_front_many(self, items: List[Any],
+                        priority: PriorityClass) -> None:
+        """Re-enter ``items`` at the head, preserving their order."""
+        self._queues[priority].extendleft(reversed(items))
+
+    def next_class(self) -> Optional[PriorityClass]:
+        """The class the next :meth:`pop` will serve (``None`` if empty)."""
+        for cls in PriorityClass:
+            if self._queues[cls]:
+                return cls
+        return None
+
+    def pop(self) -> Optional[Tuple[Any, PriorityClass]]:
+        """Dequeue the highest-priority item, FIFO within its class."""
+        for cls in PriorityClass:
+            if self._queues[cls]:
+                return self._queues[cls].popleft(), cls
+        return None
+
+    def pop_batch(self, count: int) -> List[Tuple[Any, PriorityClass]]:
+        """Dequeue up to ``count`` items in priority order."""
+        out: List[Tuple[Any, PriorityClass]] = []
+        while len(out) < count:
+            entry = self.pop()
+            if entry is None:
+                break
+            out.append(entry)
+        return out
+
+    def depth(self, priority: Optional[PriorityClass] = None) -> int:
+        """Queued items in one class, or in all classes."""
+        if priority is not None:
+            return len(self._queues[priority])
+        return sum(len(q) for q in self._queues.values())
+
+    def counts(self) -> Dict[str, int]:
+        """Depth per class, keyed by lowercase class name."""
+        return {cls.name.lower(): len(self._queues[cls])
+                for cls in PriorityClass}
+
+    def __len__(self) -> int:
+        return self.depth()
+
+    def __bool__(self) -> bool:
+        return self.depth() > 0
+
+
+class InFlightGate:
+    """Bounded in-flight admission for dispatched calls.
+
+    ``acquire()`` returns ``None`` when a slot is free (taken
+    immediately), else a :class:`~repro.sim.kernel.Signal` the caller
+    must yield on; slots hand over to waiters FIFO on ``release()``.
+    With ``limit=None`` the gate is wide open and never makes anyone
+    wait — the behaviour-compatible default.
+    """
+
+    def __init__(self, sim: Simulator, limit: Optional[int] = None,
+                 name: str = "gate"):
+        self.sim = sim
+        self.limit = limit
+        self.name = name
+        self.in_flight = 0
+        self._waiters: Deque[Any] = deque()
+
+    def acquire(self):
+        """Take a slot now (``None``) or get a signal to wait on."""
+        if self.limit is None or self.in_flight < self.limit:
+            self.in_flight += 1
+            return None
+        ticket = self.sim.signal(f"{self.name}.wait")
+        self._waiters.append(ticket)
+        return ticket
+
+    def release(self) -> None:
+        """Free a slot; the oldest waiter (if any) inherits it."""
+        if self._waiters:
+            # the slot transfers: in_flight stays constant
+            self._waiters.popleft().fire(True)
+            return
+        self.in_flight = max(0, self.in_flight - 1)
+
+    def waiting(self) -> int:
+        """Callers currently parked on the gate."""
+        return len(self._waiters)
+
+
+class Dispatcher:
+    """The per-shard dispatch substrate one Load Balancer runs on.
+
+    Owns the per-service class queues, the shed/placement counters and
+    the ``sched.submit`` spans that cover an item's whole queue wait
+    (opened at enqueue, finished at dequeue with ``shard`` and
+    ``class`` attributes).  The Load Balancer asks it *who waits next*;
+    the Dispatcher never talks to the cloud itself — provider-neutral
+    by construction.
+    """
+
+    def __init__(self, sim: Simulator, shard_id: int = 0,
+                 metrics=None,
+                 bounds: Optional[Dict[PriorityClass, int]] = None):
+        self.sim = sim
+        self.shard_id = shard_id
+        self.metrics = metrics
+        self.bounds = dict(bounds or {})
+        self._queues: Dict[str, ClassedQueue] = {}
+        #: open sched.submit spans per queued traceable item id
+        self._submit_spans: Dict[str, Any] = {}
+
+    # -- service registration ------------------------------------------------
+
+    def register(self, service_name: str) -> None:
+        """Create the class queue for a newly managed service."""
+        if service_name not in self._queues:
+            self._queues[service_name] = ClassedQueue(bounds=self.bounds)
+
+    def queue(self, service_name: str) -> ClassedQueue:
+        """The class queue of one service."""
+        return self._queues[service_name]
+
+    # -- enqueue / dequeue ---------------------------------------------------
+
+    def enqueue(self, service_name: str, item: Any,
+                priority: PriorityClass = PriorityClass.INTERACTIVE,
+                front: bool = False,
+                item_id: Optional[str] = None,
+                trace_parent=None) -> bool:
+        """Queue ``item``; returns ``False`` when its class shed it.
+
+        ``item_id``/``trace_parent`` open a ``sched.submit`` span that
+        stays open for the queue wait; the span closes (with shard and
+        class attributes) when the item is dequeued or shed.
+        """
+        accepted = self._queues[service_name].push(item, priority,
+                                                  front=front)
+        self._count(f"enqueue.{priority.name.lower()}" if accepted
+                    else f"shed.{priority.name.lower()}")
+        if not accepted:
+            obs_of(self.sim).events.emit(
+                "sched.shed", service=service_name, shard=self.shard_id,
+                priority=priority.name.lower())
+            return False
+        if item_id is not None and trace_parent is not None:
+            span = obs_of(self.sim).tracer.start_span(
+                "sched.submit", parent=trace_parent, kind="sched",
+                attributes={"service": service_name,
+                            "shard": self.shard_id,
+                            "class": priority.name.lower(),
+                            "queued": True})
+            self._submit_spans[item_id] = span
+        return True
+
+    def next_class(self, service_name: str) -> Optional[PriorityClass]:
+        """Class of the next item :meth:`dequeue` would serve."""
+        return self._queues[service_name].next_class()
+
+    def dequeue(self, service_name: str
+                ) -> Optional[Tuple[Any, PriorityClass]]:
+        """Pop the next item in priority order (``None`` when empty)."""
+        entry = self._queues[service_name].pop()
+        if entry is not None:
+            self._count(f"place.{entry[1].name.lower()}")
+        return entry
+
+    def dequeue_batch(self, service_name: str, count: int
+                      ) -> List[Tuple[Any, PriorityClass]]:
+        """Pop up to ``count`` items in priority order in one pass."""
+        entries = self._queues[service_name].pop_batch(count)
+        for _, cls in entries:
+            self._count(f"place.{cls.name.lower()}")
+        return entries
+
+    def requeue_front(self, service_name: str, items: List[Any],
+                      priority: PriorityClass) -> None:
+        """Displaced items re-enter at the head of their class, in order."""
+        self._queues[service_name].push_front_many(items, priority)
+        self._count(f"requeue.{priority.name.lower()}", len(items))
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def finish_submit_span(self, item_id: str, error: Optional[str] = None,
+                           **attributes) -> None:
+        """Close the open queue-wait span of ``item_id`` (if traced)."""
+        span = self._submit_spans.pop(item_id, None)
+        if span is None:
+            return
+        for key, value in attributes.items():
+            span.set_attribute(key, value)
+        span.finish(error=error)
+
+    def placed_now(self, service_name: str, priority: PriorityClass) -> None:
+        """Record an immediate (queue-bypassing) placement."""
+        self._count(f"place.{priority.name.lower()}")
+
+    def depth(self, service_name: str,
+              priority: Optional[PriorityClass] = None) -> int:
+        """Queue depth for one service (optionally one class)."""
+        queue = self._queues.get(service_name)
+        return 0 if queue is None else queue.depth(priority)
+
+    def depths(self) -> Dict[str, Dict[str, int]]:
+        """Per-service, per-class queue depths (the admin view)."""
+        return {name: queue.counts()
+                for name, queue in self._queues.items()}
+
+    def shed_counts(self) -> Dict[str, int]:
+        """Total sheds per class across all services."""
+        totals = {cls.name.lower(): 0 for cls in PriorityClass}
+        for queue in self._queues.values():
+            for cls, n in queue.shed.items():
+                totals[cls.name.lower()] += n
+        return totals
+
+    def _count(self, name: str, by: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).increment(by)

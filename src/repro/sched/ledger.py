@@ -1,0 +1,109 @@
+"""Global capacity and cloudburst accounting across control-plane shards.
+
+With the scheduling plane sharded, no single Load Balancer sees the
+whole estate any more — yet quota ("no more than X public vCPUs,
+deployment-wide") and cloudburst state ("are we paying for public
+capacity right now?") are global facts.  The :class:`CapacityLedger` is
+the one shared book every shard writes its launches and retirements
+into, so those decisions stay correct at any shard count.
+
+The ledger is advisory bookkeeping plus optional hard caps: with no
+``capacity`` configured, :meth:`admit` always says yes and the ledger
+only observes (the behaviour-compatible default); with caps set, a
+shard about to launch past the deployment-wide budget is refused before
+it ever reaches a provider.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.hub import obs_of
+from repro.sim import Simulator
+
+
+class CapacityLedger:
+    """Deployment-wide committed-capacity book shared by shard LBs.
+
+    ``capacity`` maps a location label to its vCPU budget; locations
+    without an entry are unbudgeted.  ``commit``/``release`` must be
+    called symmetrically around an instance's lifetime (the Load
+    Balancer does this on launch, retirement, drain completion and
+    boot failure).
+    """
+
+    def __init__(self, sim: Simulator,
+                 capacity: Optional[Dict[str, int]] = None,
+                 metrics=None):
+        self.sim = sim
+        self.capacity: Dict[str, int] = dict(capacity or {})
+        self.metrics = metrics
+        self._committed: Dict[str, int] = {}
+        self._public_nodes = 0
+        self.bursting = False
+        self.refusals = 0
+
+    # -- admission -----------------------------------------------------------
+
+    def admit(self, location: str, vcpus: int) -> bool:
+        """Would committing ``vcpus`` at ``location`` stay in budget?"""
+        budget = self.capacity.get(location)
+        if budget is None:
+            return True
+        if self._committed.get(location, 0) + vcpus <= budget:
+            return True
+        self.refusals += 1
+        self._count(f"refused.{location}")
+        obs_of(self.sim).events.emit("sched.quota.refused",
+                                     location=location, vcpus=vcpus,
+                                     committed=self._committed.get(location, 0))
+        return False
+
+    # -- accounting ----------------------------------------------------------
+
+    def commit(self, location: str, vcpus: int, public: bool = False) -> None:
+        """Record a launch at ``location``."""
+        self._committed[location] = self._committed.get(location, 0) + vcpus
+        self._count(f"commit.{location}", vcpus)
+        if public:
+            self._public_nodes += 1
+            self._update_burst()
+
+    def release(self, location: str, vcpus: int, public: bool = False) -> None:
+        """Record a retirement (or failed boot) at ``location``."""
+        self._committed[location] = max(
+            0, self._committed.get(location, 0) - vcpus)
+        self._count(f"release.{location}", vcpus)
+        if public:
+            self._public_nodes = max(0, self._public_nodes - 1)
+            self._update_burst()
+
+    def committed(self, location: str) -> int:
+        """vCPUs currently committed at ``location``, across all shards."""
+        return self._committed.get(location, 0)
+
+    def public_nodes(self) -> int:
+        """Public-cloud nodes currently committed, across all shards."""
+        return self._public_nodes
+
+    def snapshot(self) -> Dict[str, int]:
+        """Committed vCPUs per location (a copy)."""
+        return dict(self._committed)
+
+    # -- cloudburst state ----------------------------------------------------
+
+    def _update_burst(self) -> None:
+        bursting_now = self._public_nodes > 0
+        if bursting_now and not self.bursting:
+            self.bursting = True
+            self._count("cloudburst.activations")
+            obs_of(self.sim).events.emit("sched.cloudburst.enter",
+                                         public_nodes=self._public_nodes)
+        elif not bursting_now and self.bursting:
+            self.bursting = False
+            self._count("cloudburst.reversals")
+            obs_of(self.sim).events.emit("sched.cloudburst.exit")
+
+    def _count(self, name: str, by: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).increment(by)

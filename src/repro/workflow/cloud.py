@@ -105,13 +105,18 @@ class CloudWorkflowEngine:
       rather than scribbling over the adopter's records.
     * ``lease_ttl`` — lease duration; the heartbeat renews every third
       of it.
+    * ``scheduler`` — a :class:`~repro.sched.router.ShardedRouter`;
+      with one attached every non-cached service-call stage is admitted
+      through the scheduling plane (``sched.submit`` span at workflow
+      class, in-flight gating when the plane bounds concurrency).
     """
 
     def __init__(self, sim: Simulator, network: Network,
                  request_timeout: float = 600.0,
                  client=None, store=None, executor=None,
                  executor_id: Optional[str] = None,
-                 lease_ttl: float = 60.0):
+                 lease_ttl: float = 60.0,
+                 scheduler=None):
         self.sim = sim
         self.network = network
         self.request_timeout = request_timeout
@@ -119,6 +124,7 @@ class CloudWorkflowEngine:
         #: dispatch rides the fabric (retry/breaker/admission) and uses
         #: the canonical v1 route, surviving mid-workflow crashes
         self.client = client
+        self.scheduler = scheduler
         self.store = store
         self.executor = executor
         self.executor_id = executor_id or (
@@ -235,46 +241,62 @@ class CloudWorkflowEngine:
                             output = node.fn(params, upstream)
                         else:
                             inputs = call.build_inputs(params, upstream)
-                            if self.client is not None:
-                                # resilient dispatch: canonical v1 route,
-                                # retries/breakers/admission via the
-                                # fabric; Execute is replayable, hence
-                                # safe=True
-                                request = HttpRequest(
-                                    "POST",
-                                    f"/v1/wps/processes/{call.process_id}"
-                                    f"/execute",
-                                    body={"inputs": inputs})
-                                reply = yield self.client.call(
-                                    call.address_of, request, safe=True,
-                                    timeout=self.request_timeout,
-                                    trace=stage_span.context)
-                            else:
-                                address = call.address_of()
-                                if address is None:
-                                    fail(node.node_id, "no-address",
-                                         f"no endpoint resolves for WPS "
-                                         f"process {call.process_id!r} "
-                                         f"(session migrated away?)",
+                            # every non-cached stage dispatch is admitted
+                            # through the scheduling plane (when attached)
+                            ticket = (self.scheduler.admit_call(
+                                record.run_id, node.node_id,
+                                parent=stage_span.context)
+                                if self.scheduler is not None else None)
+                            if ticket is not None and ticket.wait is not None:
+                                yield ticket.wait
+                            try:
+                                if self.client is not None:
+                                    # resilient dispatch: canonical v1
+                                    # route, retries/breakers/admission
+                                    # via the fabric; Execute is
+                                    # replayable, hence safe=True
+                                    request = HttpRequest(
+                                        "POST",
+                                        f"/v1/wps/processes/"
+                                        f"{call.process_id}/execute",
+                                        body={"inputs": inputs})
+                                    reply = yield self.client.call(
+                                        call.address_of, request, safe=True,
+                                        timeout=self.request_timeout,
+                                        trace=stage_span.context)
+                                else:
+                                    address = call.address_of()
+                                    if address is None:
+                                        fail(node.node_id, "no-address",
+                                             f"no endpoint resolves for WPS "
+                                             f"process {call.process_id!r} "
+                                             f"(session migrated away?)",
+                                             stage_span)
+                                        return
+                                    request = HttpRequest(
+                                        "POST",
+                                        f"/wps/processes/{call.process_id}"
+                                        f"/execute",
+                                        body={"inputs": inputs})
+                                    inject_context(stage_span.context,
+                                                   request.headers)
+                                    reply = yield self.network.request(
+                                        address, request,
+                                        timeout=self.request_timeout)
+                                if not (isinstance(reply, HttpResponse)
+                                        and reply.ok):
+                                    fail(node.node_id, "service-error",
+                                         f"service call failed: {reply!r}",
                                          stage_span)
                                     return
-                                request = HttpRequest(
-                                    "POST",
-                                    f"/wps/processes/{call.process_id}"
-                                    f"/execute",
-                                    body={"inputs": inputs})
-                                inject_context(stage_span.context,
-                                               request.headers)
-                                reply = yield self.network.request(
-                                    address, request,
-                                    timeout=self.request_timeout)
-                            if not (isinstance(reply, HttpResponse)
-                                    and reply.ok):
-                                fail(node.node_id, "service-error",
-                                     f"service call failed: {reply!r}",
-                                     stage_span)
-                                return
-                            output = reply.body["outputs"]
+                                output = reply.body["outputs"]
+                            finally:
+                                if ticket is not None:
+                                    self.scheduler.release_call(
+                                        ticket,
+                                        error=(str(record.failure)
+                                               if record.failure is not None
+                                               else None))
                         self._cache[key] = output
                     stage_span.set_attribute("cached", cached)
                     stage_span.finish()
