@@ -60,12 +60,14 @@ def trace_summary(source, title: str = "trace summary",
     spans = source.spans() if hasattr(source, "spans") else list(source)
     summary = summarize_spans(spans)
     rows = [
-        [name, stats["count"], stats["errors"], stats["p50"],
+        [name, stats["count"], stats["errors"],
+         f"{stats['error_rate']:.1%}", stats["p50"],
          stats["p95"], stats["p99"]]
         for name, stats in summary.items()
         if stats["count"] >= min_count
     ]
     print_table(title,
-                ["span", "count", "errors", "p50 s", "p95 s", "p99 s"],
+                ["span", "count", "errors", "err%", "p50 s", "p95 s",
+                 "p99 s"],
                 rows)
     return summary

@@ -10,6 +10,10 @@
 * ``python -m repro chaos`` — crash an executor mid-workflow and watch
   the write-ahead run journal, lease expiry, and orphan re-adoption
   carry the run to completion on a replacement instance.
+* ``python -m repro top`` — live text dashboard over the telemetry
+  plane: health score, SLO burn rates, RED view, scheduling-plane
+  saturation, with a replica crash injected mid-run so the alerts have
+  something to say.
 
 The full demonstrations live in ``examples/``.
 """
@@ -34,8 +38,19 @@ def main() -> None:
     sub.add_parser(
         "chaos",
         help="crash an executor mid-workflow; durable execution recovers it")
+    top_parser = sub.add_parser(
+        "top", help="live text dashboard over the telemetry plane")
+    top_parser.add_argument(
+        "--horizon", type=float, default=900.0,
+        help="simulated seconds to run (default: %(default)s)")
+    top_parser.add_argument(
+        "--refresh", type=float, default=30.0,
+        help="simulated seconds per frame (default: %(default)s)")
     args = parser.parse_args()
-    if args.command == "trace":
+    if args.command == "top":
+        from repro.obs.top import run_top
+        run_top(horizon=args.horizon, refresh=args.refresh)
+    elif args.command == "trace":
         directory = os.path.dirname(os.path.abspath(args.out))
         if not os.path.isdir(directory):
             parser.error(f"--out directory does not exist: {directory}")

@@ -30,6 +30,7 @@ from typing import Callable, Deque, Dict, List, Optional
 from repro.cloud.instance import Instance
 from repro.obs.hub import obs_of
 from repro.sim import Simulator
+from repro.sim.metrics import MetricsRegistry
 
 
 class HealthVerdict(enum.Enum):
@@ -81,11 +82,18 @@ class HealthMonitor:
 
     def __init__(self, sim: Simulator, interval: float = 5.0,
                  window: int = 4, cpu_threshold: float = 0.95,
-                 wedged_window: Optional[int] = None):
+                 wedged_window: Optional[int] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.sim = sim
         self.interval = interval
         self.window = window
         self.cpu_threshold = cpu_threshold
+        # optional instrumentation: every evaluation counts as a check,
+        # every fault verdict as a fault — the ratio is the replica-
+        # health SLI the telemetry plane alerts on (a single blackholed
+        # replica barely dents request availability once the LB routes
+        # around it, but it dominates this ratio immediately)
+        self.metrics = metrics
         # the wedged verdict needs a horizon much longer than one model
         # run, or every busy instance running long jobs looks stuck; by
         # default it takes 8 plain windows of pinned CPU with zero
@@ -141,6 +149,10 @@ class HealthMonitor:
             for instance in list(self._watched.values()):
                 self._take_sample(instance)
                 verdict = self.verdict(instance)
+                if self.metrics is not None:
+                    self.metrics.counter("health.checks").increment()
+                    if verdict.is_fault:
+                        self.metrics.counter("health.faults").increment()
                 previous = self._last.get(instance.instance_id,
                                           HealthVerdict.HEALTHY)
                 if verdict != previous:

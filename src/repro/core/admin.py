@@ -53,6 +53,20 @@ class AdminConsole:
             })
         faults = [e for lb in evop.sched.lbs for e in lb.events
                   if e["event"].startswith("fault.")]
+        observability: Dict[str, Any] = {"enabled": evop.telemetry is not None}
+        if evop.telemetry is not None:
+            plane = evop.telemetry.snapshot()
+            observability.update({
+                "health_score": plane["health_score"],
+                "alerts_firing": plane["alerts_firing"],
+                "scraper_lag": plane["lag"],
+                "series": plane["series"],
+                "slos": [
+                    {"name": s["slo"], "sli": s["sli"],
+                     "target": s["target"], "firing": s["firing"]}
+                    for s in evop.telemetry.slo_status()
+                ],
+            })
         return {
             "time": evop.sim.now,
             "instances": evop.instances_by_location(),
@@ -61,6 +75,7 @@ class AdminConsole:
                 "shards": evop.sched.shards,
                 "queue_depths": evop.sched.depths(),
             },
+            "observability": observability,
             "services": services,
             "sessions": {
                 "active": len(evop.sessions.active()),
@@ -117,4 +132,21 @@ class AdminConsole:
                     f"verdict={replica['verdict']}")
         if snapshot["faults"]["detected"]:
             lines.append(f"faults detected: {snapshot['faults']['detected']}")
+        obs = snapshot["observability"]
+        if obs["enabled"]:
+            lag = obs["scraper_lag"]
+            lines.append(
+                f"observability: health={obs['health_score']:.0f}/100  "
+                f"series={obs['series']}  "
+                f"lag={'n/a' if lag is None else f'{lag:.0f}s'}")
+            for slo in obs["slos"]:
+                sli = slo["sli"]
+                lines.append(
+                    f"  slo {slo['name']:28s} "
+                    f"sli={'n/a' if sli is None else f'{sli:.4f}'} "
+                    f"target={slo['target']:.3f}"
+                    f"{'  FIRING' if slo['firing'] else ''}")
+            if obs["alerts_firing"]:
+                lines.append("alerts firing: "
+                             + ", ".join(obs["alerts_firing"]))
         return "\n".join(lines)

@@ -29,6 +29,9 @@ class EvopConfig:
     #: keeps the single-LB behaviour, N>1 rendezvous-hashes sessions
     #: and runs across N slimmed per-shard Load Balancers
     shards: int = 1
+    #: scrape interval (simulated seconds) of the telemetry plane; None
+    #: leaves telemetry off until enable_telemetry() is called
+    telemetry_interval: Optional[float] = None
     catchments: Tuple[str, ...] = ("morland",)
     truth_days: int = 30            # horizon of the synthetic sensor truths
     storm_day: int = 14             # design storm injected mid-horizon
@@ -49,3 +52,6 @@ class EvopConfig:
             raise ValueError("sessions_per_replica must be positive")
         if self.shards <= 0:
             raise ValueError("shards must be positive")
+        if self.telemetry_interval is not None \
+                and self.telemetry_interval <= 0:
+            raise ValueError("telemetry_interval must be positive")

@@ -50,6 +50,9 @@ from repro.modellib.processes import (
 )
 from repro.portal.left import LeftTool
 from repro.portal.widgets import WIDGET_RETRY
+from repro.obs.hub import obs_of
+from repro.obs.slo import SLO
+from repro.obs.telemetry import TelemetryPlane
 from repro.resilience import ResilientClient
 from repro.resilience.client import observed_breakers
 from repro.sched import CapacityLedger, ShardedRouter
@@ -127,9 +130,13 @@ class Evop:
 
         # infrastructure manager
         self.sessions = SessionTable(self.sim)
+        # the monitor's check/fault counters feed the replica-health SLO
+        # — the signal that catches single-replica faults the request-
+        # level availability ratio dilutes away once the LB fails over
+        self.broker_metrics = MetricsRegistry(self.sim, namespace="broker")
         self.monitor = HealthMonitor(
             self.sim, interval=self.config.health_interval,
-            window=self.config.health_window)
+            window=self.config.health_window, metrics=self.broker_metrics)
         policy_cls = _POLICIES.get(self.config.policy)
         if policy_cls is None:
             raise ValueError(f"unknown policy {self.config.policy!r}; "
@@ -137,8 +144,11 @@ class Evop:
         self.policy: SchedulingPolicy = policy_cls()
         # the scheduling plane: N per-shard Load Balancers (shard 0 is
         # also exposed as ``self.lb`` for single-shard callers) sharing
-        # one capacity ledger, fronted by a rendezvous-hashing router
-        self.ledger = CapacityLedger(self.sim)
+        # one capacity ledger, fronted by a rendezvous-hashing router;
+        # the ledger and router share one registry so the telemetry
+        # plane sees the whole plane as the ``sched`` service
+        self.sched_metrics = MetricsRegistry(self.sim, namespace="sched")
+        self.ledger = CapacityLedger(self.sim, metrics=self.sched_metrics)
         shard_lbs = [
             LoadBalancer(
                 self.sim, self.multicloud, self.network, self.sessions,
@@ -149,7 +159,8 @@ class Evop:
             for shard_id in range(self.config.shards)]
         self.lb = shard_lbs[0]
         self.sched = ShardedRouter(self.sim, shard_lbs, ledger=self.ledger,
-                                   multicloud=self.multicloud)
+                                   multicloud=self.multicloud,
+                                   metrics=self.sched_metrics)
         self.multicloud.attach_resilience(self.breakers)
         self.injector = FaultInjector(self.sim, [self.private, self.public],
                                       streams=self.streams,
@@ -166,6 +177,7 @@ class Evop:
         self.rb: Optional[ResourceBroker] = None
         self.left_tools: Dict[str, LeftTool] = {}
         self.truths: Dict[str, Dict[str, TimeSeries]] = {}
+        self.telemetry: Optional[TelemetryPlane] = None
         self._bootstrapped = False
 
     # -- lifecycle ------------------------------------------------------------------
@@ -181,6 +193,8 @@ class Evop:
             self._manage_service(catchment)
             self._instrument_catchment(catchment)
         self._bootstrapped = True
+        if self.config.telemetry_interval is not None:
+            self.enable_telemetry(self.config.telemetry_interval)
         return self
 
     def run_until(self, t: float) -> float:
@@ -345,6 +359,128 @@ class Evop:
             make_server=make_server,
             purpose="sensor-data",
             sessions_per_replica=32,
+            min_replicas=replicas,
+        ))
+        return service_name
+
+    # -- observability ------------------------------------------------------------------
+
+    def enable_telemetry(self, interval: float = 5.0) -> TelemetryPlane:
+        """Start the telemetry plane: scraper, default SLOs, alert fan-out.
+
+        Registers every subsystem registry under service/location/shard
+        labels, adds live saturation probes, and declares the default
+        SLOs the fleet is operated against:
+
+        * availability — ≥ 99.9 % of resilient-client *attempts* succeed
+          (attempt failures are the early signal: retries and failover
+          keep final-status error counters flat while the fleet is
+          actually impaired);
+        * latency — ≥ 95 % of resilient requests complete within 5 s,
+          read exactly from the scraped histogram bucket series;
+        * freshness — the scraper's own sample stream never gaps.
+
+        Alert transitions emit ``obs.alert.*`` events and broadcast over
+        the RB's push gateway when one is up — operators get paged on
+        the same channel fabric that pushes sensor readings to widgets.
+        """
+        if self.telemetry is not None:
+            return self.telemetry
+
+        def notify(payload: Dict[str, object]) -> None:
+            if self.rb is not None:
+                self.rb.gateway.broadcast({"channel": "ops.alerts",
+                                           **payload})
+
+        plane = TelemetryPlane(self.sim, interval=interval, notifier=notify)
+        plane.watch_registry(self.resilience_metrics, service="resilience")
+        plane.watch_registry(self.sched_metrics, service="sched")
+        plane.watch_registry(obs_of(self.sim).api_metrics, service="rest")
+        for shard, lb in enumerate(self.sched.lbs):
+            plane.watch_registry(lb.metrics, service="lb", shard=str(shard))
+        for location in ("private", "public"):
+            provider = self.private if location == "private" else self.public
+            plane.watch_registry(provider.metrics, service="cloud",
+                                 location=location)
+        if self.rb is not None:
+            plane.watch_registry(self.rb.gateway.metrics, service="channels")
+        for name, labels, fn in self.sched.probes():
+            plane.watch_probe(name, fn, **labels)
+        for location in self.multicloud.locations():
+            plane.watch_probe(
+                "instances",
+                lambda loc=location: float(
+                    len(self.multicloud.list_nodes(loc))),
+                service="cloud", location=location)
+        plane.watch_registry(self.broker_metrics, service="broker")
+        plane.watch_probe("sessions.active",
+                          lambda: float(len(self.sessions.active())),
+                          service="broker")
+        hub = obs_of(self.sim)
+        plane.watch_probe("events.dropped",
+                          lambda: float(hub.events.dropped),
+                          service="obs")
+        plane.watch_probe("spans.dropped",
+                          lambda: float(hub.tracer.dropped),
+                          service="obs")
+
+        plane.add_slo(SLO.availability(
+            "wps-attempt-availability", total="attempts",
+            errors="attempt.failures", target=0.999, service="resilience"))
+        # one blackholed replica in a pool of many barely moves request
+        # availability once the LB routes around it — but it shows in
+        # the health-check fault ratio the moment the monitor sees it.
+        # The default burn windows suit sustained request ratios; this
+        # ratio is zero in steady state and the LB replaces a faulted
+        # replica within a couple of verdicts, so the rule gets one
+        # high-sensitivity pair: any fault verdict in the last minute,
+        # still visible over five, pages.
+        plane.add_slo(SLO.availability(
+            "replica-health", total="health.checks",
+            errors="health.faults", target=0.999, service="broker"),
+            windows=((300.0, 60.0, 2.0),))
+        plane.add_slo(SLO.latency(
+            "wps-request-latency", metric="request.duration",
+            threshold=5.0, target=0.95, service="resilience"))
+        plane.add_slo(SLO.freshness(
+            "telemetry-freshness", series="scrape.samples",
+            max_age=3.0 * interval, target=0.99, service="telemetry"))
+
+        self.telemetry = plane.start()
+        return plane
+
+    def expose_observability(self, replicas: int = 1) -> str:
+        """Publish the telemetry plane as a managed REST service.
+
+        Deployed on demand like :meth:`expose_sos`; requires
+        :meth:`enable_telemetry` (called implicitly here if needed).
+        Returns the managed-service name.
+        """
+        if not self._bootstrapped:
+            raise RuntimeError("call bootstrap() first")
+        if self.telemetry is None:
+            self.enable_telemetry()
+        service_name = "observability"
+        if any(s.name == service_name for s in self.sched.services()):
+            return service_name
+        from repro.services.obsapi import build_observability_api
+        from repro.services.rest import RestServer
+
+        api = build_observability_api(self.sim, self.telemetry,
+                                      obs_of(self.sim).tracer)
+        obs_image = self.images.create("observability-host",
+                                       ImageKind.GENERIC, size_gb=1.0)
+
+        def make_server(instance):
+            return RestServer(self.sim, api, instance).bind(self.network)
+
+        self.sched.manage(ManagedService(
+            name=service_name,
+            image=obs_image,
+            flavor=SMALL,
+            make_server=make_server,
+            purpose="operations",
+            sessions_per_replica=16,
             min_replicas=replicas,
         ))
         return service_name

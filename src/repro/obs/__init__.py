@@ -11,8 +11,15 @@ workflow stage — and this package makes that path visible:
   infrastructure happenings (instance lifecycle, LB decisions, faults,
   cloudburst transitions);
 * :mod:`~repro.obs.export` renders collected spans as flat percentile
-  summaries, JSON Lines, or Chrome ``trace_event`` JSON that opens
-  directly in ``chrome://tracing`` / Perfetto.
+  summaries, JSON Lines, Chrome ``trace_event`` JSON that opens
+  directly in ``chrome://tracing`` / Perfetto, or collapsed flamegraph
+  stacks (self-time per root-to-span path);
+* :mod:`~repro.obs.telemetry` samples every metrics registry into a
+  bounded labeled :class:`~repro.obs.telemetry.SeriesStore` on the
+  simulated clock, with RED/USE views and trace exemplars;
+* :mod:`~repro.obs.slo` evaluates declarative
+  :class:`~repro.obs.slo.SLO` objects with multi-window multi-burn-rate
+  alert rules that page over the deployment's push channels.
 
 Subsystems reach the shared :class:`~repro.obs.hub.Observability` hub via
 :func:`~repro.obs.hub.obs_of`, which lazily attaches one hub to the
@@ -32,29 +39,57 @@ from repro.obs.export import (
     span_tree,
     summarize_spans,
     to_chrome_trace,
+    to_collapsed_stacks,
     to_jsonl,
     tree_depth,
     write_chrome_trace,
+    write_collapsed_stacks,
 )
 from repro.obs.hub import Observability, obs_of
+from repro.obs.slo import (
+    DEFAULT_BURN_WINDOWS,
+    AlertManager,
+    AlertRule,
+    SLO,
+)
+from repro.obs.telemetry import (
+    MetricsScraper,
+    Series,
+    SeriesStore,
+    TelemetryPlane,
+    red_view,
+    use_view,
+)
 from repro.obs.tracer import Span, Tracer
 
 __all__ = [
+    "AlertManager",
+    "AlertRule",
+    "DEFAULT_BURN_WINDOWS",
     "Event",
     "EventLog",
+    "MetricsScraper",
     "Observability",
+    "SLO",
+    "Series",
+    "SeriesStore",
     "Span",
     "SpanContext",
     "TRACEPARENT_HEADER",
+    "TelemetryPlane",
     "Tracer",
     "extract_context",
     "inject_context",
     "obs_of",
+    "red_view",
     "render_tree",
     "span_tree",
     "summarize_spans",
     "to_chrome_trace",
+    "to_collapsed_stacks",
     "to_jsonl",
     "tree_depth",
+    "use_view",
     "write_chrome_trace",
+    "write_collapsed_stacks",
 ]

@@ -43,24 +43,53 @@ class EventLog:
         self._events: Deque[Event] = deque(maxlen=max_events)
         self.dropped = 0
         self.total_emitted = 0
+        self._drop_marker: Optional[Event] = None
 
     def emit(self, kind: str, **fields: Any) -> Event:
-        """Record an event of ``kind`` at the current simulated time."""
+        """Record an event of ``kind`` at the current simulated time.
+
+        The first time the bounded deque overflows, a one-shot
+        ``events.dropped`` warning event is pinned at the truncation
+        horizon — timestamped with the first discarded event, like a
+        journal's "log begins here" marker — so truncation is never
+        invisible in exports or queries.  The marker rides outside the
+        ring: it neither displaces a retained event nor counts toward
+        ``dropped``/``total_emitted``.
+        """
         event = Event(self.sim.now, kind, fields)
         if len(self._events) == self._events.maxlen:
+            if self._drop_marker is None:
+                oldest = self._events[0]
+                self._drop_marker = Event(oldest.t, "events.dropped", {
+                    "max_events": self._events.maxlen,
+                    "dropped": 0,
+                    "detail": "event log at capacity; oldest events are "
+                              "being discarded"})
             self.dropped += 1
         self._events.append(event)
         self.total_emitted += 1
         return event
+
+    @property
+    def drop_marker(self) -> Optional[Event]:
+        """The pinned truncation marker, if the log ever overflowed."""
+        if self._drop_marker is not None:
+            self._drop_marker.fields["dropped"] = self.dropped
+        return self._drop_marker
 
     def events(self, kind: Optional[str] = None,
                since: Optional[float] = None) -> List[Event]:
         """Events, optionally filtered by kind prefix and start time.
 
         ``kind`` matches exactly or as a dotted prefix: ``"instance"``
-        matches ``instance.running`` and ``instance.failed``.
+        matches ``instance.running`` and ``instance.failed``.  A pinned
+        ``events.dropped`` marker (see :meth:`emit`) leads the result
+        when it passes the same filters.
         """
         out = list(self._events)
+        marker = self.drop_marker
+        if marker is not None:
+            out.insert(0, marker)
         if kind is not None:
             prefix = kind + "."
             out = [e for e in out

@@ -38,8 +38,10 @@ def _percentile(ordered: List[float], q: float) -> float:
 def summarize_spans(spans: Iterable[Span]) -> Dict[str, Dict[str, float]]:
     """Per-span-name duration statistics over *finished* spans.
 
-    Returns ``{name: {count, errors, p50, p95, p99, mean, total}}`` with
-    durations in simulated seconds, names sorted alphabetically.
+    Returns ``{name: {count, errors, error_rate, p50, p95, p99, mean,
+    total}}`` with durations in simulated seconds, names sorted
+    alphabetically.  ``error_rate`` is errors/count — what separates
+    "fast because it is healthy" from "fast because it failed fast".
     """
     by_name: Dict[str, List[Span]] = {}
     for span in spans:
@@ -49,10 +51,12 @@ def summarize_spans(spans: Iterable[Span]) -> Dict[str, Dict[str, float]]:
     for name in sorted(by_name):
         durations = sorted(s.duration for s in by_name[name])
         total = sum(durations)
+        errors = float(sum(1 for s in by_name[name]
+                           if s.status == "error"))
         out[name] = {
             "count": float(len(durations)),
-            "errors": float(sum(1 for s in by_name[name]
-                                if s.status == "error")),
+            "errors": errors,
+            "error_rate": errors / len(durations),
             "mean": total / len(durations),
             "p50": _percentile(durations, 50),
             "p95": _percentile(durations, 95),
@@ -160,6 +164,43 @@ def write_chrome_trace(path: str, spans: Iterable[Span],
     document = to_chrome_trace(spans, events)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(document, fh, indent=1)
+    return path
+
+
+def to_collapsed_stacks(spans: Iterable[Span]) -> List[str]:
+    """Spans as collapsed flamegraph stacks (``a;b;c <self_us>``).
+
+    One line per unique root-to-span path, semicolon-joined names, value
+    the *self* time in integer microseconds — span duration minus the
+    time covered by its children (clamped at zero when children overlap
+    or outlast the parent).  The output feeds ``flamegraph.pl``,
+    speedscope and friends unchanged; identical paths from different
+    traces aggregate, which is the point: the profile shows where the
+    fleet's simulated time goes, not one request's.
+    """
+    totals: Dict[str, int] = {}
+
+    def walk(node: Dict[str, Any], prefix: str) -> None:
+        span = node["span"]
+        stack = f"{prefix};{span.name}" if prefix else span.name
+        if span.finished:
+            child_time = sum(c["span"].duration for c in node["children"]
+                             if c["span"].finished)
+            self_us = int(round(max(0.0, span.duration - child_time) * 1e6))
+            totals[stack] = totals.get(stack, 0) + self_us
+        for child in node["children"]:
+            walk(child, stack)
+
+    for root in span_tree(spans):
+        walk(root, "")
+    return [f"{stack} {value}" for stack, value in sorted(totals.items())]
+
+
+def write_collapsed_stacks(path: str, spans: Iterable[Span]) -> str:
+    """Write :func:`to_collapsed_stacks` lines to ``path``; returns it."""
+    lines = to_collapsed_stacks(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + ("\n" if lines else ""))
     return path
 
 

@@ -5,13 +5,21 @@ Subsystems never construct tracers or event logs themselves; they call
 sharing that simulator shares one hub — which is exactly what lets a
 single trace id cross the broker, the network, an instance and a
 workflow engine.
+
+The hub also owns ``api_metrics``, the registry REST servers record
+per-API request counts and duration histograms into: server-side RED
+metrics need a home that exists before any deployment wiring, for the
+same reason the tracer does.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 from repro.obs.events import EventLog
 from repro.obs.tracer import Tracer
 from repro.sim.kernel import Simulator
+from repro.sim.metrics import MetricsRegistry
 
 _HUB_ATTR = "_obs_hub"
 
@@ -25,11 +33,30 @@ class Observability:
         self.max_events = max_events
         self.tracer = Tracer(sim, max_spans=max_spans)
         self.events = EventLog(sim, max_events=max_events)
+        self.api_metrics = MetricsRegistry(sim, namespace="rest")
 
     def reset(self) -> None:
         """Drop all collected spans and events (benchmark hygiene)."""
         self.tracer.clear()
         self.events = EventLog(self.sim, max_events=self.max_events)
+        self.api_metrics = MetricsRegistry(self.sim, namespace="rest")
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Retention health: what was kept, what was silently shed.
+
+        Both the tracer and the event log are bounded; this is where
+        truncation becomes visible instead of being a quiet ``deque``
+        property nobody reads.
+        """
+        spans = self.tracer.spans()
+        return {
+            "spans_retained": len(spans),
+            "spans_dropped": self.tracer.dropped,
+            "spans_open": sum(1 for s in spans if not s.finished),
+            "events_retained": len(self.events),
+            "events_emitted": self.events.total_emitted,
+            "events_dropped": self.events.dropped,
+        }
 
 
 def obs_of(sim: Simulator) -> Observability:

@@ -180,6 +180,12 @@ class ResilientClient:
                         breaker.record_success()
             attempt += 1
             self._count("attempts")
+            if self._target_failure(outcome):
+                # attempt-level failures are the operator's early signal:
+                # retries and failover can still save the *request*, so
+                # final-status error counters stay flat while the fleet
+                # is actually impaired — availability SLOs watch this
+                self._count("attempt.failures")
             if isinstance(outcome, HttpResponse) and outcome.ok:
                 exhausted = ""
                 break
@@ -207,6 +213,13 @@ class ResilientClient:
         span.finish(error=None if response.status < 500
                     else f"http {response.status}")
         self._count("success" if response.ok else "errors")
+        if self.metrics is not None:
+            # end-to-end duration with a trace exemplar: a bad bucket
+            # keeps the trace id of a request that actually landed there
+            self.metrics.histogram("request.duration").observe(
+                self.sim.now - start,
+                exemplar={"trace_id": span.trace_id, "t": self.sim.now,
+                          "status": response.status})
         if not done.fired:
             done.fire(response)
 

@@ -274,6 +274,29 @@ class ShardedRouter:
         return {shard: lb.dispatcher.depths()
                 for shard, lb in enumerate(self.lbs)}
 
+    def probes(self) -> List[Any]:
+        """Telemetry probes: ``(series_name, labels, fn)`` triples.
+
+        One ``sched.queue.depth`` probe per (shard, priority class),
+        summed across that shard's services — the saturation dimension
+        of the scheduling plane's USE view, labeled so dashboards can
+        slice by shard or class.  The telemetry scraper samples these on
+        its own clock; the closures read live dispatcher state.
+        """
+        out: List[Any] = []
+        for shard in self.shard_ids():
+            for cls in PriorityClass:
+                def depth(s=shard, p=cls) -> float:
+                    per_service = self.lbs[s].dispatcher.depths()
+                    return float(sum(
+                        counts.get(p.name.lower(), 0)
+                        for counts in per_service.values()))
+                out.append(("sched.queue.depth",
+                            {"service": "sched", "shard": str(shard),
+                             "priority": cls.name.lower()},
+                            depth))
+        return out
+
     def drain(self, instance):
         """Route an operator drain to the shard owning ``instance``."""
         for lb in self.lbs:

@@ -257,6 +257,27 @@ class RestServer:
                 f"{route.pattern if route else request.path}",
                 parent=context, kind="server",
                 attributes={"instance": self.instance.instance_id})
+        # server-side RED metrics ride a second waiter on the response
+        # signal: requests/errors counters plus a duration histogram
+        # whose buckets retain a trace exemplar when the request was
+        # traced (a replica that never answers records nothing — the
+        # client's view covers that failure mode)
+        started = self.sim.now
+        api_metrics = obs_of(self.sim).api_metrics.sub(self.api.name)
+
+        def metered():
+            response = yield done
+            api_metrics.counter("requests").increment()
+            if response.status >= 500:
+                api_metrics.counter("errors").increment()
+            exemplar = None
+            if span is not None:
+                exemplar = {"trace_id": span.trace_id, "t": self.sim.now,
+                            "status": response.status}
+            api_metrics.histogram("duration").observe(
+                self.sim.now - started, exemplar=exemplar)
+
+        self.sim.spawn(metered(), name=f"rest.meter.{self.api.name}")
         if route is None:
             self._finish(done, HttpResponse(
                 status=404,

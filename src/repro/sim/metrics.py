@@ -110,16 +110,27 @@ class TimeSeriesRecorder:
     complexity of a sketch.
     """
 
-    __slots__ = ("name", "_sim", "_samples")
+    __slots__ = ("name", "_sim", "_samples", "_sum", "_ordered_values",
+                 "_summary_cache")
 
     def __init__(self, name: str, sim: Simulator):
         self.name = name
         self._sim = sim
         self._samples: List[Tuple[float, float]] = []
+        self._sum = 0.0
+        # sorted-value cache: extended lazily with whatever arrived since
+        # the last percentile call, then re-sorted — Timsort recognises
+        # the sorted prefix, so the periodic scraper asking for
+        # p50/p95/p99 every tick costs O(new samples), not O(n log n)
+        self._ordered_values: List[float] = []
+        # (count, items) snapshot-fragment memo: a scraper polling an
+        # idle recorder pays one len() check, not three percentiles
+        self._summary_cache: Optional[Tuple[int, Dict[str, float]]] = None
 
     def record(self, value: float) -> None:
         """Record ``value`` at the current simulated time."""
         self._samples.append((self._sim.now, value))
+        self._sum += value
 
     @property
     def count(self) -> int:
@@ -139,7 +150,23 @@ class TimeSeriesRecorder:
         """Arithmetic mean of the values (0.0 when empty)."""
         if not self._samples:
             return 0.0
-        return sum(v for _t, v in self._samples) / len(self._samples)
+        return self._sum / len(self._samples)
+
+    def _ordered(self) -> List[float]:
+        done = len(self._ordered_values)
+        fresh = len(self._samples) - done
+        if fresh > 0:
+            if fresh <= 32:
+                # a few new values insort in C-speed memmoves; a full
+                # re-sort would pay O(n) Python comparisons every time
+                # the periodic scraper asks for percentiles
+                for _t, v in self._samples[done:]:
+                    bisect.insort(self._ordered_values, v)
+            else:
+                self._ordered_values.extend(
+                    v for _t, v in self._samples[done:])
+                self._ordered_values.sort()
+        return self._ordered_values
 
     def percentile(self, q: float) -> float:
         """Exact percentile ``q`` in [0, 100] by linear interpolation."""
@@ -147,7 +174,7 @@ class TimeSeriesRecorder:
             raise ValueError(f"percentile out of range: {q}")
         if not self._samples:
             return 0.0
-        ordered = sorted(v for _t, v in self._samples)
+        ordered = self._ordered()
         if len(ordered) == 1:
             return ordered[0]
         rank = (q / 100.0) * (len(ordered) - 1)
@@ -162,7 +189,27 @@ class TimeSeriesRecorder:
         """Largest recorded value (0.0 when empty)."""
         if not self._samples:
             return 0.0
-        return max(v for _t, v in self._samples)
+        return self._ordered()[-1]
+
+    def summary_items(self, prefix: str) -> Dict[str, float]:
+        """Headline stats keyed ``<prefix>.<stat>``, memoised on count.
+
+        This is the fragment :meth:`MetricsRegistry.snapshot` merges in;
+        the memo means a periodic scraper only recomputes percentiles
+        for recorders that actually received samples since last scrape.
+        """
+        cached = self._summary_cache
+        if cached is not None and cached[0] == len(self._samples):
+            return cached[1]
+        items = {
+            f"{prefix}.mean": self.mean(),
+            f"{prefix}.p50": self.percentile(50),
+            f"{prefix}.p95": self.percentile(95),
+            f"{prefix}.p99": self.percentile(99),
+            f"{prefix}.count": float(len(self._samples)),
+        }
+        self._summary_cache = (len(self._samples), items)
+        return items
 
     def window(self, start: float, end: float) -> List[float]:
         """Values recorded in the half-open time window ``[start, end)``."""
@@ -183,10 +230,16 @@ class Histogram:
     observed maximum to close the overflow bucket — exact enough for the
     p50/p95/p99 tables benches print, and immune to the unbounded-memory
     failure mode of recording raw samples on hot paths.
+
+    Each bucket can additionally retain one *exemplar*: an arbitrary
+    dict (by convention carrying ``trace_id``) describing the most
+    recent observation that landed there.  Exemplars are what link a bad
+    p99 back to a concrete trace — O(buckets) extra memory, replaced in
+    place, never a sample log.
     """
 
     __slots__ = ("name", "_bounds", "_counts", "_overflow", "_count",
-                 "_sum", "_min", "_max")
+                 "_sum", "_min", "_max", "_exemplars", "_summary_cache")
 
     def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
         if not buckets:
@@ -203,9 +256,21 @@ class Histogram:
         self._sum = 0.0
         self._min = math.inf
         self._max = -math.inf
+        # one slot per bucket plus one for overflow, filled lazily
+        self._exemplars: List[Optional[Dict[str, object]]] = \
+            [None] * (len(bounds) + 1)
+        # (count, items) snapshot-fragment memo, same contract as
+        # TimeSeriesRecorder.summary_items
+        self._summary_cache: Optional[Tuple[int, Dict[str, float]]] = None
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float,
+                exemplar: Optional[Dict[str, object]] = None) -> None:
+        """Record one observation, optionally tagging its bucket.
+
+        ``exemplar`` (typically ``{"trace_id": ...}``) replaces the
+        owning bucket's retained exemplar; the observed value is stored
+        alongside it under ``"value"``.
+        """
         self._count += 1
         self._sum += value
         if value < self._min:
@@ -217,6 +282,10 @@ class Histogram:
             self._counts[lo] += 1
         else:
             self._overflow += 1
+        if exemplar is not None:
+            slot = dict(exemplar)
+            slot["value"] = value
+            self._exemplars[min(lo, len(self._bounds))] = slot
 
     @property
     def count(self) -> int:
@@ -240,6 +309,16 @@ class Histogram:
         pairs.append((math.inf, self._overflow))
         return pairs
 
+    def exemplars(self) -> List[Tuple[float, Dict[str, object]]]:
+        """(upper_bound, exemplar) pairs for buckets holding one.
+
+        The overflow bucket's bound is ``inf``; buckets that never saw a
+        tagged observation are omitted.
+        """
+        bounds = self._bounds + [math.inf]
+        return [(bounds[i], dict(ex))
+                for i, ex in enumerate(self._exemplars) if ex is not None]
+
     def quantile(self, q: float) -> float:
         """Estimate percentile ``q`` in [0, 100] from the buckets."""
         if not 0 <= q <= 100:
@@ -259,6 +338,21 @@ class Histogram:
             cumulative += count
             previous_bound = bound
         return self._max
+
+    def summary_items(self, prefix: str) -> Dict[str, float]:
+        """Headline stats keyed ``<prefix>.<stat>``, memoised on count."""
+        cached = self._summary_cache
+        if cached is not None and cached[0] == self._count:
+            return cached[1]
+        items = {
+            f"{prefix}.mean": self.mean(),
+            f"{prefix}.p50": self.quantile(50),
+            f"{prefix}.p95": self.quantile(95),
+            f"{prefix}.p99": self.quantile(99),
+            f"{prefix}.count": float(self._count),
+        }
+        self._summary_cache = (self._count, items)
+        return items
 
 
 class MetricsRegistry:
@@ -315,20 +409,26 @@ class MetricsRegistry:
             out[f"{name}.mean"] = gauge.time_weighted_mean()
             out[f"{name}.peak"] = gauge.peak
         for name, rec in self._recorders.items():
-            out[f"{name}.mean"] = rec.mean()
-            out[f"{name}.p50"] = rec.percentile(50)
-            out[f"{name}.p95"] = rec.percentile(95)
-            out[f"{name}.p99"] = rec.percentile(99)
-            out[f"{name}.count"] = float(rec.count)
+            out.update(rec.summary_items(name))
         for name, hist in self._histograms.items():
-            out[f"{name}.mean"] = hist.mean()
-            out[f"{name}.p50"] = hist.quantile(50)
-            out[f"{name}.p95"] = hist.quantile(95)
-            out[f"{name}.p99"] = hist.quantile(99)
-            out[f"{name}.count"] = float(hist.count)
+            out.update(hist.summary_items(name))
         for relative, child in self._children.items():
             for key, value in child.snapshot().items():
                 out[f"{relative}.{key}"] = value
+        return out
+
+    def each_histogram(self) -> List[Tuple[str, Histogram]]:
+        """Every histogram in this registry and its children.
+
+        Names are qualified relative to *this* registry (matching the
+        keys :meth:`snapshot` uses), so a scraper labelling series by
+        source registry gets consistent naming either way.
+        """
+        out: List[Tuple[str, Histogram]] = [
+            (name, hist) for name, hist in self._histograms.items()]
+        for relative, child in self._children.items():
+            out.extend((f"{relative}.{name}", hist)
+                       for name, hist in child.each_histogram())
         return out
 
     def _qualify(self, name: str) -> str:
