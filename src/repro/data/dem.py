@@ -15,13 +15,28 @@ import math
 import random
 from typing import List, Optional, Tuple
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:          # pragma: no cover - exercised in the
+    np = None                # no-NumPy CI leg
+
+#: DEM analysis is the one data-layer feature that genuinely needs
+#: NumPy (D8 routing over 2-D grids); everything else in the package
+#: degrades gracefully without it (install ``repro[fast]`` to enable).
+HAVE_NUMPY = np is not None
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise ModuleNotFoundError(
+            "DEM analysis requires NumPy; install the 'repro[fast]' extra")
 
 
 class DemGrid:
     """A square-cell elevation grid with D8 analysis."""
 
-    def __init__(self, elevation: np.ndarray, cell_size_m: float = 50.0):
+    def __init__(self, elevation: "np.ndarray", cell_size_m: float = 50.0):
+        _require_numpy()
         if elevation.ndim != 2 or min(elevation.shape) < 3:
             raise ValueError("need a 2-D grid of at least 3x3 cells")
         if cell_size_m <= 0:
@@ -43,6 +58,7 @@ class DemGrid:
         network; smoothed random roughness makes the TI distribution
         realistic rather than degenerate.
         """
+        _require_numpy()
         rng = random.Random(seed)
         x = np.linspace(0.0, 1.0, cols)
         y = np.linspace(0.0, 1.0, rows)

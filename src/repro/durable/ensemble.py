@@ -114,6 +114,39 @@ class DurableSweep:
                                     sweep=self.sweep_id, completed=start)
         span.set_attribute("resumed_from", start)
 
+        if interrupt_after is None and self._batch_backend():
+            # batch backends evaluate one checkpoint interval at a time:
+            # checkpoint boundaries *are* the chunk boundaries, and the
+            # kernel's chunk invariance plus backend-independent run
+            # keys keep the journal, the effects and every result bit-
+            # identical to the per-item scalar sweep
+            index = start
+            total = len(parameter_sets)
+            while index < total:
+                boundary = index + self.checkpoint_every \
+                    - (index % self.checkpoint_every)
+                end = min(total, boundary)
+                chunk = list(parameter_sets[index:end])
+                values = self.runner.run_many(chunk, capture_errors=True)
+                self.computed += len(values)
+                for params, value in zip(chunk, values):
+                    results.append(value)
+                    self._apply_effect(journal, params, value)
+                if end % self.checkpoint_every == 0:
+                    self._checkpoint(journal, results, end)
+                index = end
+            journal.append(j.DONE, outputs_repr=f"{len(results)} results")
+            journal.release(self.owner)
+            span.set_attribute("computed", self.computed)
+            span.set_attribute("effects_applied", self.effects_applied)
+            span.finish()
+            return results
+
+        # chaos mode stays per-item so interrupt_after counts single
+        # evaluations; a batch backend still evaluates each item through
+        # run_many (a size-1 batch is bit-identical to any chunking), so
+        # a crashed-and-resumed vector sweep never mixes kernels
+        batched = self._batch_backend()
         for index in range(start, len(parameter_sets)):
             if interrupt_after is not None \
                     and self.computed >= interrupt_after:
@@ -125,7 +158,11 @@ class DurableSweep:
                                   f"{self.computed} runs")
                 return None
             params = parameter_sets[index]
-            value = self.runner.run_one(params, capture_errors=True)
+            if batched:
+                value = self.runner.run_many([params],
+                                             capture_errors=True)[0]
+            else:
+                value = self.runner.run_one(params, capture_errors=True)
             self.computed += 1
             results.append(value)
             self._apply_effect(journal, params, value)
@@ -147,6 +184,11 @@ class DurableSweep:
         span.set_attribute("effects_applied", self.effects_applied)
         span.finish()
         return results
+
+    def _batch_backend(self) -> bool:
+        """True when the runner will evaluate misses in batches."""
+        resolve = getattr(self.runner, "resolve_backend", None)
+        return resolve is not None and resolve() != "scalar"
 
     def _replay(self, journal: j.RunJournal):
         from repro.durable.state import replay

@@ -28,6 +28,26 @@ class TimeSeries:
         self.units = units
         self.name = name
 
+    @classmethod
+    def _wrap_floats(cls, start: float, dt: float, values: List[float],
+                     units: str = "", name: str = "") -> "TimeSeries":
+        """Adopt ``values`` — already a list of floats — without the
+        per-element conversion pass.
+
+        Internal fast path for the vectorized kernel, which hands over
+        ``ndarray.tolist()`` output (guaranteed Python floats) for
+        thousands of series per ensemble; the public constructor's
+        coercion would double the kernel's result-assembly cost.  The
+        caller must not retain a reference to ``values``.
+        """
+        series = cls.__new__(cls)
+        series.start = start
+        series.dt = dt
+        series._values = values
+        series.units = units
+        series.name = name
+        return series
+
     # -- basics -------------------------------------------------------------
 
     @property

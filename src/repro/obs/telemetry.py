@@ -538,6 +538,28 @@ class TelemetryPlane:
                          **labels)
         return registry
 
+    def watch_ensemble_runner(self, runner: Any, **labels: str) -> None:
+        """Scrape an :class:`~repro.perf.runner.EnsembleRunner`'s
+        backend counters under ``labels``.
+
+        One ``ensemble.runs`` series per backend (labeled
+        ``backend=scalar|vector|process-pool``), plus dispatch gauges —
+        the same figures ``runner.stats()`` reports and the admin
+        console's ``top`` view tails, sampled over time so a sweep's
+        backend mix is visible next to its cache and SLO series.
+        """
+        for backend in getattr(runner, "backend_runs", {}):
+            key = f"runs{{backend={backend}}}"
+            self.watch_probe(
+                "ensemble.runs",
+                lambda r=runner, k=key: float(r.stats().get(k, 0)),
+                backend=backend, **labels)
+        for gauge in ("chunks_dispatched", "chunk_size", "pool_workers"):
+            self.watch_probe(
+                f"ensemble.{gauge}",
+                lambda r=runner, g=gauge: float(r.stats().get(g, 0)),
+                **labels)
+
     def add_slo(self, slo: Any, windows: Optional[Iterable] = None) -> None:
         """Track ``slo`` with a multi-window burn-rate alert rule."""
         self.alerts.add(slo, windows=windows)

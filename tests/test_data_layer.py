@@ -30,7 +30,14 @@ def sim():
 
 # -- DEM ------------------------------------------------------------------------
 
+# DEM analysis is the one data-layer feature that requires NumPy
+from repro.data import dem as dem_module
 
+needs_numpy = pytest.mark.skipif(not dem_module.HAVE_NUMPY,
+                                 reason="NumPy absent")
+
+
+@needs_numpy
 def test_synthetic_valley_shape():
     dem = DemGrid.synthetic_valley(rows=30, cols=30, seed=3)
     assert dem.z.shape == (30, 30)
@@ -39,6 +46,7 @@ def test_synthetic_valley_shape():
     assert outlet_row > 15
 
 
+@needs_numpy
 def test_flow_accumulation_conserves_cells():
     dem = DemGrid.synthetic_valley(rows=20, cols=20, seed=1)
     acc = dem.flow_accumulation()
@@ -47,6 +55,7 @@ def test_flow_accumulation_conserves_cells():
     assert acc.max() > 0.2 * dem.rows * dem.cols
 
 
+@needs_numpy
 def test_topographic_index_higher_in_valley_bottom():
     dem = DemGrid.synthetic_valley(rows=30, cols=30, seed=2)
     ti = dem.topographic_index()
@@ -56,6 +65,7 @@ def test_topographic_index_higher_in_valley_bottom():
     assert high_acc.mean() > low_acc.mean()
 
 
+@needs_numpy
 def test_ti_distribution_normalised_and_ordered():
     dem = DemGrid.synthetic_valley(rows=25, cols=25, seed=4)
     dist = topographic_index_distribution(dem, classes=12)
@@ -67,6 +77,7 @@ def test_ti_distribution_normalised_and_ordered():
         topographic_index_distribution(dem, classes=1)
 
 
+@needs_numpy
 def test_dem_feeds_topmodel():
     from repro.hydrology import Topmodel, TopmodelParameters
     dem = DemGrid.synthetic_valley(rows=20, cols=20, seed=5)
@@ -77,6 +88,7 @@ def test_dem_feeds_topmodel():
     assert result.flow.total() > 0
 
 
+@needs_numpy
 def test_dem_validation():
     import numpy as np
     with pytest.raises(ValueError):

@@ -4,11 +4,17 @@ import pytest
 
 from repro.core import Evop, EvopConfig
 from repro.data import DemGrid, DesignStorm
+from repro.data import dem as dem_module
 from repro.data.catchments import catchment_from_dem
 from repro.hydrology import TopmodelParameters
 from repro.sim import RandomStreams
 
+# DEM analysis is the one data-layer feature that requires NumPy
+needs_numpy = pytest.mark.skipif(not dem_module.HAVE_NUMPY,
+                                 reason="NumPy absent")
 
+
+@needs_numpy
 def test_catchment_from_dem_runs_topmodel():
     dem = DemGrid.synthetic_valley(rows=30, cols=30, cell_size_m=50.0,
                                    seed=7)
@@ -32,6 +38,7 @@ def test_catchment_from_dem_runs_topmodel():
     assert abs(result.water_balance_error_mm) < 1e-6
 
 
+@needs_numpy
 def test_dem_catchment_differs_from_analytic():
     dem = DemGrid.synthetic_valley(rows=25, cols=25, seed=11)
     derived = catchment_from_dem("d", "D", dem, 54.0, -2.0)
