@@ -10,7 +10,7 @@ for portal sessions.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.broker.health import HealthMonitor
 from repro.broker.load_balancer import LoadBalancer
@@ -57,6 +57,7 @@ from repro.resilience import ResilientClient
 from repro.resilience.client import observed_breakers
 from repro.sched import CapacityLedger, ShardedRouter
 from repro.services.channels import PushGateway
+from repro.services.idempotency import IdempotencyIndex
 from repro.services.registry import ServiceRegistry
 from repro.services.transport import Network
 from repro.sim import MetricsRegistry, RandomStreams, Simulator
@@ -174,10 +175,19 @@ class Evop:
         self.recovery = RecoveryManager(self.sim, self.journals,
                                         monitor=self.monitor)
 
+        # exactly-once at the API edge: one shared idempotency index so
+        # a key admitted by any replica of any service is honoured by
+        # all of them — a retried Execute lands on a different replica
+        # and still replays the original response
+        self.idempotency = IdempotencyIndex(
+            self.sim, self.storage.create_container("idempotency"))
+
         self.rb: Optional[ResourceBroker] = None
         self.left_tools: Dict[str, LeftTool] = {}
         self.truths: Dict[str, Dict[str, TimeSeries]] = {}
+        self.wps_services: Dict[str, Any] = {}
         self.telemetry: Optional[TelemetryPlane] = None
+        self.dataplane: Optional[Any] = None
         self._bootstrapped = False
 
     # -- lifecycle ------------------------------------------------------------------
@@ -262,6 +272,8 @@ class Evop:
             [f"topmodel-{catchment.name}", f"fuse-{catchment.name}",
              f"water-quality-{catchment.name}"],
             status, {catchment.name: catchment})
+        wps.api.idempotency = self.idempotency
+        self.wps_services[catchment.name] = wps
         image = self.library.image_for(f"topmodel-{catchment.name}")
 
         def make_server(instance):
@@ -363,6 +375,73 @@ class Evop:
         ))
         return service_name
 
+    # -- the CQRS data plane ------------------------------------------------------------
+
+    def enable_dataplane(self, consumer_count: int = 2,
+                         window_hours: float = 24.0):
+        """Start the event-sourced data plane and wire every producer.
+
+        Sensor ingests, warehouse writes and WPS run lifecycle events
+        flow through transactional outboxes into append-only streams;
+        competing consumers fold them into the materialized read models
+        served by :meth:`expose_read_api`.  Idempotent: returns the
+        existing plane on repeat calls.
+        """
+        if self.dataplane is not None:
+            return self.dataplane
+        if not self._bootstrapped:
+            raise RuntimeError("call bootstrap() first")
+        from repro.dataplane import DataPlane
+
+        plane = DataPlane(self.sim, self.storage,
+                          consumer_count=consumer_count,
+                          window_hours=window_hours)
+        self.warehouse.attach_outbox(plane.outbox)
+        for tool in self.left_tools.values():
+            tool.sensors.attach_outbox(plane.outbox)
+        for wps in self.wps_services.values():
+            wps.attach_outbox(plane.outbox)
+        plane.start()
+        if self.telemetry is not None:
+            self.telemetry.watch_dataplane(plane)
+        self.dataplane = plane
+        return plane
+
+    def expose_read_api(self, replicas: int = 1) -> str:
+        """Publish the materialized views as the managed ``read`` service.
+
+        Deployed on demand like :meth:`expose_sos`; requires
+        :meth:`enable_dataplane` (called implicitly here if needed).
+        Returns the managed-service name.
+        """
+        if not self._bootstrapped:
+            raise RuntimeError("call bootstrap() first")
+        if self.dataplane is None:
+            self.enable_dataplane()
+        service_name = "read"
+        if any(s.name == service_name for s in self.sched.services()):
+            return service_name
+        from repro.services.readapi import build_read_api
+        from repro.services.rest import RestServer
+
+        api = build_read_api(self.sim, self.dataplane)
+        read_image = self.images.create("read-host", ImageKind.GENERIC,
+                                        size_gb=1.0)
+
+        def make_server(instance):
+            return RestServer(self.sim, api, instance).bind(self.network)
+
+        self.sched.manage(ManagedService(
+            name=service_name,
+            image=read_image,
+            flavor=SMALL,
+            make_server=make_server,
+            purpose="read-model",
+            sessions_per_replica=64,
+            min_replicas=replicas,
+        ))
+        return service_name
+
     # -- observability ------------------------------------------------------------------
 
     def enable_telemetry(self, interval: float = 5.0) -> TelemetryPlane:
@@ -423,6 +502,8 @@ class Evop:
         plane.watch_probe("spans.dropped",
                           lambda: float(hub.tracer.dropped),
                           service="obs")
+        if self.dataplane is not None:
+            plane.watch_dataplane(self.dataplane)
 
         plane.add_slo(SLO.availability(
             "wps-attempt-availability", total="attempts",

@@ -43,6 +43,10 @@ class Sensor:
         self.streams = streams or RandomStreams()
         self.observations: List[Observation] = []
         self._feeding = False
+        #: Ingest hook: called with each new observation (live or
+        #: backfilled).  The sensor network points this at the data
+        #: plane's transactional outbox.
+        self.on_observation: Optional[Callable[[Observation], None]] = None
 
     @property
     def procedure_id(self) -> str:
@@ -63,6 +67,8 @@ class Sensor:
             units=self.description.units,
         )
         self.observations.append(observation)
+        if self.on_observation is not None:
+            self.on_observation(observation)
         return observation
 
     def start_feed(self, until: Optional[float] = None) -> None:
@@ -81,13 +87,20 @@ class Sensor:
     def backfill(self, series: TimeSeries) -> int:
         """Load a historical series into the archive; returns count."""
         added = 0
+        loaded: List[Observation] = []
         for t, value in zip(series.times(), series.values):
-            self.observations.append(Observation(
+            loaded.append(Observation(
                 procedure_id=self.procedure_id,
                 observed_property=self.description.observed_property,
                 time=t, value=value, units=self.description.units))
             added += 1
+        self.observations.extend(loaded)
         self.observations.sort(key=lambda obs: obs.time)
+        if self.on_observation is not None:
+            # publish in time order so downstream consumers see the
+            # backfill the way the live feed would have delivered it
+            for observation in sorted(loaded, key=lambda obs: obs.time):
+                self.on_observation(observation)
         return added
 
     def latest(self) -> Optional[Observation]:
@@ -129,6 +142,40 @@ class SensorNetwork:
         self.sim = sim
         self.streams = streams or RandomStreams()
         self._sensors: Dict[str, Sensor] = {}
+        self._outbox = None
+        self._stream_prefix = "obs"
+
+    def attach_outbox(self, outbox, stream_prefix: str = "obs") -> None:
+        """Publish every ingest (live and backfill) to the data plane.
+
+        Observation events are partitioned per catchment — one stream
+        ``<prefix>.<catchment>`` each — so per-catchment ordering is
+        total and the stats view's state never depends on how other
+        catchments drain.  Sensors added later are wired automatically.
+        """
+        self._outbox = outbox
+        self._stream_prefix = stream_prefix
+        for sensor in self._sensors.values():
+            self._wire(sensor)
+
+    def _wire(self, sensor: Sensor) -> None:
+        description = sensor.description
+        catchment = description.catchment or "uncatchmented"
+        stream = f"{self._stream_prefix}.{catchment}"
+
+        def publish(observation: Observation) -> None:
+            self._outbox.record(
+                stream, "observation", key=observation.procedure_id,
+                payload={
+                    "procedure": observation.procedure_id,
+                    "observedProperty": observation.observed_property,
+                    "time": observation.time,
+                    "value": observation.value,
+                    "uom": observation.units,
+                    "catchment": description.catchment,
+                })
+
+        sensor.on_observation = publish
 
     def add_sensor(self, description: SensorDescription,
                    truth: Callable[[float], float],
@@ -141,6 +188,8 @@ class SensorNetwork:
                         sampling_interval=sampling_interval,
                         noise_std=noise_std, streams=self.streams)
         self._sensors[description.procedure_id] = sensor
+        if self._outbox is not None:
+            self._wire(sensor)
         return sensor
 
     def sensor(self, procedure_id: str) -> Sensor:

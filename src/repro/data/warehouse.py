@@ -34,6 +34,18 @@ class DataWarehouse:
     def __init__(self, store: BlobStore):
         self._container: Container = store.create_container(self.CONTAINER)
         self._memo: "OrderedDict[str, Tuple[str, TimeSeries]]" = OrderedDict()
+        self._outbox = None
+        self._stream = "warehouse"
+
+    def attach_outbox(self, outbox, stream: str = "warehouse") -> None:
+        """Announce every dataset write/delete as a data-plane event.
+
+        The outbox record lands in the same cooperative step as the
+        blob write — the transactional-outbox guarantee that derived
+        views never miss (or double-see) a warehouse change.
+        """
+        self._outbox = outbox
+        self._stream = stream
 
     def put_series(self, dataset_id: str, series: TimeSeries,
                    provenance: str = "") -> None:
@@ -51,6 +63,11 @@ class DataWarehouse:
             "provenance": provenance,
             "length": str(len(series)),
         })
+        if self._outbox is not None:
+            self._outbox.record(self._stream, "series.put", key=dataset_id,
+                                payload={"units": series.units,
+                                         "samples": len(series),
+                                         "provenance": provenance})
 
     def get_series(self, dataset_id: str) -> TimeSeries:
         """Fetch a stored series (raises BlobNotFound if absent)."""
@@ -81,6 +98,9 @@ class DataWarehouse:
         """Remove a dataset."""
         self._container.delete(dataset_id)
         self._memo.pop(dataset_id, None)
+        if self._outbox is not None:
+            self._outbox.record(self._stream, "series.deleted",
+                                key=dataset_id, payload={})
 
     def list(self, prefix: str = "") -> List[str]:
         """Dataset ids with the given prefix, sorted."""

@@ -54,9 +54,14 @@ LEASE = "LEASE"
 #: Terminal success / terminal failure.
 DONE = "DONE"
 FAILED = "FAILED"
+#: A data-plane stream event (see :mod:`repro.dataplane.stream`): the
+#: event-sourced ingest path reuses the journal's CRC-checked record
+#: format and torn-tail truncation, with the stream name in the
+#: ``run_id`` slot and one durable blob per event.
+EVENT = "EVENT"
 
 KINDS = (SCHEDULED, STARTED, ADOPTED, CHECKPOINT, EFFECT, LEASE, DONE,
-         FAILED)
+         FAILED, EVENT)
 
 
 class LeaseError(RuntimeError):

@@ -560,6 +560,17 @@ class TelemetryPlane:
                 lambda r=runner, g=gauge: float(r.stats().get(g, 0)),
                 **labels)
 
+    def watch_dataplane(self, plane: Any, **labels: str) -> None:
+        """Scrape a :class:`~repro.dataplane.plane.DataPlane`'s health.
+
+        Mounts the plane's own probe triples — consumer lag, DLQ depth,
+        outbox depth, total stream events — the saturation signals that
+        say whether the materialized views are keeping up with ingest
+        and whether poison events are accumulating.
+        """
+        for name, probe_labels, fn in plane.probes():
+            self.watch_probe(name, fn, **{**probe_labels, **labels})
+
     def add_slo(self, slo: Any, windows: Optional[Iterable] = None) -> None:
         """Track ``slo`` with a multi-window burn-rate alert rule."""
         self.alerts.add(slo, windows=windows)

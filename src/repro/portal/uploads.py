@@ -20,6 +20,7 @@ from repro.data.catalog import AssetCatalog, AssetOrigin
 from repro.data.warehouse import DataWarehouse
 from repro.hydrology.timeseries import TimeSeries
 from repro.services.envelope import problem
+from repro.services.pagination import CursorError, paginate
 from repro.services.rest import RestApi, RestCacheable, RestServer
 from repro.services.transport import HttpRequest
 from repro.sim import Simulator
@@ -36,6 +37,7 @@ class UploadService:
         self.policy = policy    # optional AccessPolicy for restricted data
         self.api = RestApi("uploads")
         self.api.post("/uploads", self._upload, cost=0.02)
+        self.api.get("/uploads", self._list, cost=0.005)
         self.api.get("/uploads/{dataset_id}", self._describe, cacheable=True)
         self.api.get("/uploads/{dataset_id}/data", self._download,
                      cacheable=True)
@@ -75,6 +77,27 @@ class UploadService:
         )
         return 201, {"datasetId": dataset_id, "assetId": asset.asset_id,
                      "samples": len(series)}
+
+    def _list(self, request: HttpRequest, params: Dict[str, str]):
+        """Paginated listing of user-provided datasets.
+
+        A new collection route, so there is no legacy unpaginated body
+        to preserve: both the ``/v1`` route and its shim paginate.
+        Dataset ids are the sort keys — the warehouse lists them
+        sorted, and new uploads only add keys, so cursors stay stable
+        across ingest.
+        """
+        ids = self.warehouse.list(prefix="user/")
+        try:
+            page = paginate(request, ids, ids)
+        except CursorError as err:
+            return 400, problem(400, "invalid cursor", str(err),
+                                retryable=False)
+        datasets = [dict(self.warehouse.describe(dataset_id),
+                         datasetId=dataset_id)
+                    for dataset_id in page.items]
+        return 200, {"datasets": datasets, "total": page.total,
+                     "nextCursor": page.next_cursor}, page.headers
 
     def _describe(self, request: HttpRequest, params: Dict[str, str]):
         # path params cannot contain '/', so ids arrive URL-style encoded

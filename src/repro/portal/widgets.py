@@ -19,6 +19,7 @@ design buys.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -235,6 +236,7 @@ class ModellingWidget:
         self.sliders: Dict[str, SliderSpec] = {}
         self.runs: List[ModelRun] = []
         self.errors: List[str] = []
+        self._run_ids = itertools.count()
         if resilient is None:
             resilient = ResilientClient(sim, network, service="wps",
                                         policy=WIDGET_RETRY)
@@ -319,13 +321,18 @@ class ModellingWidget:
                 inputs[name] = slider.value
         inputs.update(extra_inputs)
         requested_at = self.sim.now
+        # one key per button press: the generous widget retry policy can
+        # replay the execute as often as it likes, the server runs the
+        # model once and every replay collects the original response
+        run_key = f"{self.session.session_id}:run:{next(self._run_ids)}"
 
         def runner():
             # address waits (a migration or replacement may leave the
             # session briefly unassigned), 503 backoff and crash retries
             # all live in the resilience fabric now
             response = yield self.client.execute_wps(
-                self.process_id, inputs, timeout=self.request_timeout)
+                self.process_id, inputs, timeout=self.request_timeout,
+                idempotency_key=run_key)
             if not (isinstance(response, HttpResponse) and response.ok):
                 self.errors.append(f"run failed: {response!r}")
                 done.fire(None)
@@ -360,11 +367,12 @@ class ModellingWidget:
                 inputs[name] = slider.value
         inputs.update(extra_inputs)
         requested_at = self.sim.now
+        run_key = f"{self.session.session_id}:run:{next(self._run_ids)}"
 
         def runner():
             accept = yield self.client.execute_wps(
                 self.process_id, inputs, mode="async",
-                timeout=self.request_timeout)
+                timeout=self.request_timeout, idempotency_key=run_key)
             if not (isinstance(accept, HttpResponse)
                     and accept.status == 202):
                 self.errors.append(f"async accept failed: {accept!r}")
@@ -450,3 +458,83 @@ class ModellingWidget:
             }
             for run in self.runs
         ]
+
+
+class CatchmentDashboard:
+    """The stakeholder landing view, served from materialized views.
+
+    Where the earlier widgets pull raw observations and recompute
+    aggregates client-side, the dashboard reads the CQRS read API:
+    per-catchment rolling stats (ETag-revalidated — an unchanged
+    catchment costs header bytes), the latest-observation table
+    (followed cursor page by cursor page) and the recent-runs index.
+    This is the read path the million-user portal scales on.
+    """
+
+    def __init__(self, sim: Simulator, network: Network,
+                 address: Any, catchment: str,
+                 resilient: Optional[ResilientClient] = None):
+        self.sim = sim
+        self.catchment = catchment
+        self.errors: List[str] = []
+        self.client = RestClient(sim, network, address,
+                                 resilient=resilient, service="read",
+                                 deadline=WIDGET_DEADLINE)
+        self.stats: Optional[Dict[str, Any]] = None
+        self.latest: List[Dict[str, Any]] = []
+        self.recent_runs: List[Dict[str, Any]] = []
+
+    def refresh(self, page_limit: int = 50, run_limit: int = 20) -> Signal:
+        """Pull stats, the full latest table and recent runs.
+
+        Returns a signal fired with ``True`` when every panel loaded.
+        The latest table is collected by following ``nextCursor`` until
+        the server stops offering one.
+        """
+        done = self.sim.signal(f"dashboard.{self.catchment}")
+
+        def loader():
+            ok = True
+            response = yield self.client.catchment_stats(self.catchment)
+            if isinstance(response, HttpResponse) and response.ok:
+                self.stats = response.body
+            else:
+                ok = False
+                self.errors.append(f"stats failed: {response!r}")
+            rows: List[Dict[str, Any]] = []
+            cursor: Optional[str] = None
+            while True:
+                response = yield self.client.latest_observations(
+                    cursor=cursor, limit=page_limit)
+                if not (isinstance(response, HttpResponse) and response.ok):
+                    ok = False
+                    self.errors.append(f"latest failed: {response!r}")
+                    break
+                rows.extend(response.body.get("observations", []))
+                cursor = response.body.get("nextCursor")
+                if not cursor:
+                    break
+            self.latest = [row for row in rows
+                           if row.get("catchment") in ("", self.catchment)]
+            response = yield self.client.list_runs(limit=run_limit)
+            if isinstance(response, HttpResponse) and response.ok:
+                self.recent_runs = response.body.get("runs", [])
+            else:
+                ok = False
+                self.errors.append(f"runs failed: {response!r}")
+            done.fire(ok)
+
+        self.sim.spawn(loader(), name=f"dashboard.{self.catchment}")
+        return done
+
+    def summary(self) -> Dict[str, Any]:
+        """The dashboard's rendered state, one dict per panel."""
+        return {
+            "catchment": self.catchment,
+            "stats": self.stats,
+            "latestCount": len(self.latest),
+            "recentRuns": [
+                {"runId": run.get("runId"), "status": run.get("status")}
+                for run in self.recent_runs
+            ],
+        }

@@ -57,14 +57,25 @@ class RestClient:
                 headers: Optional[Dict[str, str]] = None,
                 safe: Optional[bool] = None,
                 timeout: Optional[float] = None,
-                deadline: Optional[float] = None) -> Signal:
+                deadline: Optional[float] = None,
+                idempotency_key: Optional[str] = None) -> Signal:
         """Issue one v1 request; the signal always gets a response.
 
         GETs to previously seen resources carry ``If-None-Match``; a 304
         answer is replaced with the cached representation before the
         caller sees it.
+
+        ``idempotency_key`` stamps a mutating request with an
+        ``Idempotency-Key`` header.  A keyed mutation is exactly-once
+        at the server, so the request becomes *safe* (unless the caller
+        says otherwise): the retry stack may replay it on timeouts and
+        transient failures without risking duplicate effects.
         """
         request_headers = dict(headers or {})
+        if idempotency_key is not None:
+            request_headers.setdefault("Idempotency-Key", idempotency_key)
+            if safe is None:
+                safe = True
         cached = self._etag_cache.get(path) if method == "GET" else None
         if cached is not None:
             request_headers.setdefault("If-None-Match", cached[0])
@@ -104,9 +115,21 @@ class RestClient:
 
     # -- datasets (upload service) ------------------------------------------
 
-    def upload_dataset(self, document: Dict[str, Any]) -> Signal:
-        """``POST /v1/uploads`` — publish a user-provided series."""
-        return self.request("POST", "/v1/uploads", body=document, safe=False)
+    def upload_dataset(self, document: Dict[str, Any],
+                       idempotency_key: Optional[str] = None) -> Signal:
+        """``POST /v1/uploads`` — publish a user-provided series.
+
+        Pass ``idempotency_key`` to make the upload retryable without
+        duplicate catalogue entries.
+        """
+        return self.request("POST", "/v1/uploads", body=document, safe=False,
+                            idempotency_key=idempotency_key)
+
+    def list_uploads(self, cursor: Optional[str] = None,
+                     limit: Optional[int] = None) -> Signal:
+        """``GET /v1/uploads`` — paginated dataset listing."""
+        return self.request("GET", "/v1/uploads",
+                            query=_page_query({}, cursor, limit))
 
     def describe_dataset(self, dataset_id: str) -> Signal:
         """``GET /v1/uploads/{id}`` — dataset metadata (revalidated)."""
@@ -123,9 +146,11 @@ class RestClient:
 
     # -- WPS ----------------------------------------------------------------
 
-    def wps_capabilities(self) -> Signal:
-        """``GET /v1/wps`` — published processes."""
-        return self.request("GET", "/v1/wps")
+    def wps_capabilities(self, cursor: Optional[str] = None,
+                         limit: Optional[int] = None) -> Signal:
+        """``GET /v1/wps`` — published processes (paginated)."""
+        return self.request("GET", "/v1/wps",
+                            query=_page_query({}, cursor, limit))
 
     def describe_process(self, identifier: str) -> Signal:
         """``GET /v1/wps/processes/{id}`` — the DescribeProcess document."""
@@ -134,18 +159,22 @@ class RestClient:
     def execute_wps(self, identifier: str, inputs: Dict[str, Any],
                     mode: str = "sync",
                     timeout: Optional[float] = None,
-                    deadline: Optional[float] = None) -> Signal:
+                    deadline: Optional[float] = None,
+                    idempotency_key: Optional[str] = None) -> Signal:
         """``POST /v1/wps/processes/{id}/execute``.
 
         Declared safe: model execution is deterministic and records no
         per-request server state, so replaying a lost Execute is
         harmless — which is exactly what lets retries mask a mid-run
-        instance crash.
+        instance crash.  With ``idempotency_key`` the server goes
+        further: exactly one execution happens per key, and replays get
+        the original response (one ``runId``, one run event).
         """
         return self.request(
             "POST", f"/v1/wps/processes/{identifier}/execute",
             body={"mode": mode, "inputs": inputs}, safe=True,
-            timeout=timeout, deadline=deadline)
+            timeout=timeout, deadline=deadline,
+            idempotency_key=idempotency_key)
 
     def poll_status(self, status_location: str) -> Signal:
         """``GET <statusLocation>`` — poll an async execution."""
@@ -163,12 +192,57 @@ class RestClient:
 
     def get_observations(self, procedure_id: str,
                          begin: Optional[float] = None,
-                         end: Optional[float] = None) -> Signal:
-        """``GET /v1/sos/observations/{id}`` with a temporal filter."""
+                         end: Optional[float] = None,
+                         cursor: Optional[str] = None,
+                         limit: Optional[int] = None) -> Signal:
+        """``GET /v1/sos/observations/{id}`` with a temporal filter
+        (paginated)."""
         query: Dict[str, str] = {}
         if begin is not None:
             query["begin"] = str(begin)
         if end is not None:
             query["end"] = str(end)
         return self.request("GET", f"/v1/sos/observations/{procedure_id}",
-                            query=query)
+                            query=_page_query(query, cursor, limit))
+
+    # -- the CQRS read API (materialized views) -----------------------------
+
+    def list_catchments(self, cursor: Optional[str] = None,
+                        limit: Optional[int] = None) -> Signal:
+        """``GET /v1/catchments`` — materialized catchments (paginated)."""
+        return self.request("GET", "/v1/catchments",
+                            query=_page_query({}, cursor, limit))
+
+    def catchment_stats(self, catchment: str) -> Signal:
+        """``GET /v1/catchments/{id}/stats`` — rolling stats (revalidated)."""
+        return self.request("GET", f"/v1/catchments/{catchment}/stats")
+
+    def latest_observations(self, cursor: Optional[str] = None,
+                            limit: Optional[int] = None) -> Signal:
+        """``GET /v1/observations/latest`` — latest table (paginated)."""
+        return self.request("GET", "/v1/observations/latest",
+                            query=_page_query({}, cursor, limit))
+
+    def list_runs(self, status: Optional[str] = None,
+                  cursor: Optional[str] = None,
+                  limit: Optional[int] = None) -> Signal:
+        """``GET /v1/runs`` — the run-summary index (paginated)."""
+        query: Dict[str, str] = {}
+        if status is not None:
+            query["status"] = status
+        return self.request("GET", "/v1/runs",
+                            query=_page_query(query, cursor, limit))
+
+    def get_run(self, run_id: str) -> Signal:
+        """``GET /v1/runs/{id}`` — one run's summary."""
+        return self.request("GET", f"/v1/runs/{run_id}")
+
+
+def _page_query(query: Dict[str, str], cursor: Optional[str],
+                limit: Optional[int]) -> Dict[str, str]:
+    """Fold pagination params into a query dict."""
+    if cursor is not None:
+        query["cursor"] = cursor
+    if limit is not None:
+        query["limit"] = str(limit)
+    return query

@@ -37,6 +37,7 @@ from repro.obs.context import extract_context
 from repro.obs.hub import obs_of
 from repro.obs.tracer import Span
 from repro.services.envelope import problem
+from repro.services.idempotency import request_fingerprint
 from repro.services.transport import HttpRequest, HttpResponse, Network
 from repro.sim import Signal, Simulator
 
@@ -45,6 +46,9 @@ DEFAULT_HANDLER_COST = 0.005
 
 #: The current (and only) API version routes are mounted under.
 API_VERSION = "v1"
+
+#: Sentinel: the idempotency admission already answered the request.
+_REQUEST_ANSWERED = object()
 
 
 class HttpError(Exception):
@@ -133,6 +137,7 @@ class RestCacheable:
     body: Any
     etag: str
     status: int = 200
+    headers: Dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -161,6 +166,10 @@ class RestApi:
         self.name = name
         self._routes: List[Route] = []
         self._canonical: List[Route] = []
+        #: Shared :class:`~repro.services.idempotency.IdempotencyIndex`;
+        #: when set, mutating requests carrying an ``Idempotency-Key``
+        #: header execute exactly once across every replica of this api.
+        self.idempotency: Optional[Any] = None
         describe = Route("GET", f"/{API_VERSION}", self._describe_api)
         self._routes.append(describe)
         self._canonical.append(describe)
@@ -286,6 +295,9 @@ class RestServer:
                              retryable=False)),
                 span)
             return done
+        ticket = self._admit_idempotent(done, request, route, span)
+        if ticket is _REQUEST_ANSWERED:
+            return done
         job = Job(cost=route.cost, name=f"rest:{request.method}:{route.pattern}",
                   compute=lambda: route.handler(request, params))
         if span is not None:
@@ -297,10 +309,10 @@ class RestServer:
             self.requests_handled += 1
             if not outcome.succeeded:
                 if outcome.error == "queue full":
-                    self._finish(done, self._overloaded(), span, route)
+                    self._finish(done, self._overloaded(), span, route, ticket)
                 elif outcome.error and outcome.error.startswith("job raised"):
                     self._finish(done, self._error_response(outcome.error),
-                                 span, route)
+                                 span, route, ticket)
                 elif span is not None:
                     # instance died: the response never leaves; the caller
                     # times out, and the server span records why
@@ -317,35 +329,79 @@ class RestServer:
                     deferred = yield deferred_signal
                     if not deferred.succeeded:
                         if deferred.error == "queue full":
-                            self._finish(done, self._overloaded(), span, route)
+                            self._finish(done, self._overloaded(), span,
+                                         route, ticket)
                         elif deferred.error and deferred.error.startswith("job raised"):
                             self._finish(done, self._error_response(
-                                deferred.error), span, route)
+                                deferred.error), span, route, ticket)
                         elif span is not None:
                             span.finish(error=deferred.error or "instance lost")
                         return
-                    status, body = result.render(deferred.value)
-                    self._finish(done, HttpResponse(status=status, body=body),
-                                 span, route)
+                    status, body, headers = self._coerce(
+                        result.render(deferred.value))
+                    self._finish(done, HttpResponse(status=status, body=body,
+                                                    headers=headers),
+                                 span, route, ticket)
 
                 self.sim.spawn(deferred_waiter(), name="rest.deferred")
             elif isinstance(result, RestCacheable):
                 self._finish(done, self._revalidate(request, result), span,
-                             route)
+                             route, ticket)
             elif isinstance(result, RestBackground):
                 background_job = result.job
                 if span is not None and background_job.trace is None:
                     background_job.trace = span.context
                 self.instance.submit(background_job)
                 self._finish(done, HttpResponse(status=result.status,
-                                                body=result.body), span, route)
+                                                body=result.body), span, route,
+                             ticket)
             else:
-                status, body = self._coerce(result)
-                self._finish(done, HttpResponse(status=status, body=body),
-                             span, route)
+                status, body, headers = self._coerce(result)
+                self._finish(done, HttpResponse(status=status, body=body,
+                                                headers=headers),
+                             span, route, ticket)
 
         self.sim.spawn(waiter(), name=f"rest.wait.{self.api.name}")
         return done
+
+    def _admit_idempotent(self, done: Signal, request: HttpRequest,
+                          route: Route, span: Optional[Span]):
+        """Classify a keyed mutating request before any work happens.
+
+        Returns the ``(key, epoch)`` ticket the final ``_finish`` must
+        record under, ``None`` when the request is unkeyed, or the
+        :data:`_REQUEST_ANSWERED` sentinel when the admission itself
+        produced the response (replay, conflict, in-flight)."""
+        index = self.api.idempotency
+        key = request.headers.get("Idempotency-Key")
+        if index is None or not key or request.method == "GET":
+            return None
+        admission = index.admit(key, request_fingerprint(
+            request.method, request.path, request.body))
+        if admission.kind == "replay":
+            stored = admission.response or {}
+            headers = dict(stored.get("headers") or {})
+            headers["Idempotency-Replayed"] = "true"
+            self._finish(done, HttpResponse(
+                status=stored.get("status", 200), body=stored.get("body"),
+                headers=headers), span, route)
+            return _REQUEST_ANSWERED
+        if admission.kind == "conflict":
+            self._finish(done, HttpResponse(status=422, body=problem(
+                422, "idempotency key reuse",
+                f"Idempotency-Key {key!r} was already used with a "
+                f"different request", retryable=False)), span, route)
+            return _REQUEST_ANSWERED
+        if admission.kind == "pending":
+            # Another attempt with this key is executing right now; a
+            # retryable 409 lets the client's backoff outwait it and
+            # collect the replay.
+            self._finish(done, HttpResponse(status=409, body=problem(
+                409, "request in flight",
+                f"Idempotency-Key {key!r} has an attempt in flight",
+                retryable=True)), span, route)
+            return _REQUEST_ANSWERED
+        return (key, admission.epoch)
 
     @staticmethod
     def _overloaded() -> HttpResponse:
@@ -364,21 +420,39 @@ class RestServer:
     @staticmethod
     def _revalidate(request: HttpRequest,
                     cacheable: RestCacheable) -> HttpResponse:
-        headers = {"ETag": cacheable.etag}
+        headers = dict(cacheable.headers)
+        headers["ETag"] = cacheable.etag
         if request.headers.get("If-None-Match") == cacheable.etag:
             return HttpResponse(status=304, body=None, headers=headers)
         return HttpResponse(status=cacheable.status, body=cacheable.body,
                             headers=headers)
 
     @staticmethod
-    def _coerce(result: Any) -> Tuple[int, Any]:
-        if isinstance(result, tuple) and len(result) == 2 and isinstance(result[0], int):
-            return result
-        return 200, result
+    def _coerce(result: Any) -> Tuple[int, Any, Dict[str, str]]:
+        # handlers return a body, a (status, body) pair, or a
+        # (status, body, headers) triple
+        if isinstance(result, tuple) and isinstance(result[0], int):
+            if len(result) == 2:
+                return result[0], result[1], {}
+            if len(result) == 3:
+                return result[0], result[1], dict(result[2] or {})
+        return 200, result, {}
 
     def _finish(self, done: Signal, response: HttpResponse,
                 span: Optional[Span] = None,
-                route: Optional[Route] = None) -> None:
+                route: Optional[Route] = None,
+                ticket: Optional[Tuple[str, int]] = None) -> None:
+        if ticket is not None and self.api.idempotency is not None:
+            key, epoch = ticket
+            if response.status < 500:
+                # pin the outcome: every replay of this key now gets
+                # exactly this response without re-running the handler
+                self.api.idempotency.record(key, epoch, response.status,
+                                            response.body, response.headers)
+            else:
+                # the handler never completed usefully (5xx); release
+                # the reservation so a retry can execute fresh
+                self.api.idempotency.forget(key)
         if route is not None and route.deprecated:
             # the legacy shim answers, but tells the client where to go
             response.headers.setdefault("Deprecation", "true")

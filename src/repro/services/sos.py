@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cloud.instance import Instance
 from repro.services.envelope import problem
+from repro.services.pagination import CursorError, is_paginated, paginate
 from repro.services.rest import RestApi, RestServer
 from repro.services.transport import HttpRequest
 from repro.sim import Simulator
@@ -111,21 +112,48 @@ class SosService:
             return 404, problem(404, "no such procedure",
                                 f"no procedure {procedure_id!r}",
                                 retryable=False)
-        begin, end = self._temporal_filter(request)
+        try:
+            begin, end = self._temporal_filter(request)
+        except ValueError as err:
+            return 400, problem(400, "invalid temporal filter", str(err),
+                                retryable=False)
         observations: List[Observation] = self.source.observations(
             procedure_id, begin, end)
-        return {
+        documents = [obs.to_document() for obs in observations]
+        body = {
             "procedure": procedure_id,
             "begin": begin,
             "end": end,
-            "observations": [obs.to_document() for obs in observations],
+            "observations": documents,
         }
+        if not is_paginated(request):
+            # legacy shim: the historical unpaginated body, behind the
+            # Deprecation/Link headers the shim route already adds
+            return body
+        # keyset: [time, position] — ties on time break by position, and
+        # a later ingest only ever appends larger keys, so a cursor a
+        # client is holding stays valid across new observations
+        keys = [[doc["time"], i] for i, doc in enumerate(documents)]
+        try:
+            page = paginate(request, documents, keys)
+        except CursorError as err:
+            return 400, problem(400, "invalid cursor", str(err),
+                                retryable=False)
+        body["observations"] = page.items
+        body["total"] = page.total
+        body["nextCursor"] = page.next_cursor
+        return 200, body, page.headers
 
     @staticmethod
     def _temporal_filter(request: HttpRequest) -> Tuple[float, float]:
         query = request.query or {}
-        begin = float(query.get("begin", 0.0))
-        end = float(query.get("end", float("inf")))
+        try:
+            begin = float(query.get("begin", 0.0))
+            end = float(query.get("end", float("inf")))
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"begin/end must be numbers, got begin={query.get('begin')!r} "
+                f"end={query.get('end')!r}") from None
         return begin, end
 
 

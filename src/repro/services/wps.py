@@ -20,7 +20,9 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.cloud.instance import Instance, Job
 from repro.cloud.storage import Container
+from repro.durable.journal import jsonable
 from repro.services.envelope import problem
+from repro.services.pagination import CursorError, is_paginated, paginate
 from repro.services.rest import (
     HttpError,
     RestApi,
@@ -33,6 +35,13 @@ from repro.services.transport import HttpRequest
 from repro.sim import Simulator
 
 _execution_ids = itertools.count()
+
+#: Output keys worth indexing in the run-summary view: the scalar
+#: results a stakeholder compares across runs.  Everything else (full
+#: hydrographs, series payloads) stays behind the execution status
+#: document.
+RUN_SUMMARY_KEYS = ("peak_mm_h", "peak_time_hours", "volume_mm",
+                    "threshold_exceeded", "model")
 
 
 @dataclass(frozen=True)
@@ -146,6 +155,8 @@ class WpsService:
         self.name = name
         self.status = status_container
         self._processes: Dict[str, WpsProcess] = {}
+        self._outbox = None
+        self._run_stream = "runs"
         self.api = RestApi(f"wps.{name}")
         self.api.get("/wps", self._get_capabilities, cacheable=False)
         self.api.get("/wps/processes/{identifier}", self._describe_process)
@@ -155,6 +166,35 @@ class WpsService:
                       safe=True)
         self.api.get("/wps/executions/{execution_id}", self._get_status,
                      cacheable=True)
+
+    def attach_outbox(self, outbox, stream: str = "runs") -> None:
+        """Publish run lifecycle events to the data plane.
+
+        Each Execute records ``run.submitted`` and later
+        ``run.finished``/``run.failed`` in the transactional outbox —
+        the same step as the execution's own state change, so the
+        run-summary view never sees a run the service forgot.
+        """
+        self._outbox = outbox
+        self._run_stream = stream
+
+    def _publish_run(self, run_id: str, process: str, status: str,
+                     submitted_at: float,
+                     finished_at: Optional[float] = None,
+                     outputs: Optional[Dict[str, Any]] = None) -> None:
+        if self._outbox is None:
+            return
+        payload: Dict[str, Any] = {"process": process,
+                                   "submittedAt": submitted_at}
+        if finished_at is not None:
+            payload["finishedAt"] = finished_at
+        for key in RUN_SUMMARY_KEYS:
+            if outputs and key in outputs:
+                ok, value = jsonable(outputs[key])
+                if ok:
+                    payload[key] = value
+        self._outbox.record(self._run_stream, f"run.{status}", key=run_id,
+                            payload=payload)
 
     def add_process(self, process: WpsProcess) -> None:
         """Publish a process on this service."""
@@ -173,16 +213,30 @@ class WpsService:
     # -- handlers ------------------------------------------------------------------
 
     def _get_capabilities(self, request: HttpRequest, params: Dict[str, str]):
-        return {
+        processes = [
+            {"identifier": identifier,
+             "title": self._processes[identifier].description.title}
+            for identifier in sorted(self._processes)
+        ]
+        body = {
             "service": "WPS",
             "version": "1.0.0",
             "title": self.name,
-            "processes": [
-                {"identifier": proc.description.identifier,
-                 "title": proc.description.title}
-                for proc in self._processes.values()
-            ],
+            "processes": processes,
         }
+        if not is_paginated(request):
+            # legacy shim keeps the historical unpaginated body
+            return body
+        keys = [p["identifier"] for p in processes]
+        try:
+            page = paginate(request, processes, keys)
+        except CursorError as err:
+            return 400, problem(400, "invalid cursor", str(err),
+                                retryable=False)
+        body["processes"] = page.items
+        body["total"] = page.total
+        body["nextCursor"] = page.next_cursor
+        return 200, body, page.headers
 
     def _describe_process(self, request: HttpRequest, params: Dict[str, str]):
         process = self._processes.get(params["identifier"])
@@ -199,6 +253,10 @@ class WpsService:
                                 f"no process {params['identifier']!r}",
                                 retryable=False)
         body = request.body or {}
+        if not isinstance(body, dict):
+            return 400, problem(400, "malformed execute body",
+                                f"execute body must be an object, got "
+                                f"{type(body).__name__}", retryable=False)
         mode = body.get("mode", "sync")
         try:
             inputs = process.validate(body.get("inputs", {}))
@@ -212,22 +270,33 @@ class WpsService:
                             f"unknown mode {mode!r}", retryable=False)
 
     def _execute_sync(self, process: WpsProcess, inputs: Dict[str, Any]):
+        run_id = f"run-{next(_execution_ids):06d}"
+        submitted_at = self.sim.now
+        self._publish_run(run_id, process.identifier, "submitted",
+                          submitted_at)
         job = Job(cost=process.cost(inputs),
                   name=f"wps:{process.identifier}",
                   compute=lambda: process.execute(inputs))
 
         def render(outputs):
-            return 200, {"status": "succeeded", "outputs": outputs}
+            self._publish_run(run_id, process.identifier, "finished",
+                              submitted_at, finished_at=self.sim.now,
+                              outputs=outputs)
+            return 200, {"status": "succeeded", "runId": run_id,
+                         "outputs": outputs}
 
         return RestDeferred(job=job, render=render)
 
     def _execute_async(self, process: WpsProcess, inputs: Dict[str, Any]):
         execution_id = f"exec-{next(_execution_ids):06d}"
+        submitted_at = self.sim.now
         self.status.put(execution_id, {
             "status": "accepted",
             "process": process.identifier,
-            "submitted_at": self.sim.now,
+            "submitted_at": submitted_at,
         })
+        self._publish_run(execution_id, process.identifier, "submitted",
+                          submitted_at)
 
         def run_and_record():
             try:
@@ -239,6 +308,9 @@ class WpsService:
                     "error": str(err),
                     "finished_at": self.sim.now,
                 })
+                self._publish_run(execution_id, process.identifier,
+                                  "failed", submitted_at,
+                                  finished_at=self.sim.now)
                 return None
             self.status.put(execution_id, {
                 "status": "succeeded",
@@ -246,6 +318,9 @@ class WpsService:
                 "outputs": outputs,
                 "finished_at": self.sim.now,
             })
+            self._publish_run(execution_id, process.identifier, "finished",
+                              submitted_at, finished_at=self.sim.now,
+                              outputs=outputs)
             return outputs
 
         job = Job(cost=process.cost(inputs),
