@@ -1,0 +1,406 @@
+"""GEO — whole-region failover with bounded RPO/RTO.
+
+Two arms:
+
+* **identity** — ``GeoEstate(regions=1)`` against the classic
+  hand-wired single-region stack, same seed, same traffic.  The final
+  session snapshots ``(user, state, instance, wait_time)`` must be
+  bit-identical: the geo layer is free when it is not asked for.
+* **region kill** — a three-region estate under live polling users and
+  a chaos schedule that kills the *leader* region outright (storage,
+  control plane and every instance) and heals it later.  Measured:
+
+  - user-visible availability: every poller goes through the
+    :class:`~repro.resilience.ResilientClient`; after retries, no user
+    ever sees a ``5xx`` final outcome;
+  - **RPO**: warehouse writes land in the victim region every few
+    seconds until the kill; the survivors must hold every write acked
+    at least one replication interval before the kill (and the
+    youngest surviving write must be within interval + spacing of it);
+  - **RTO**: detection → sessions resettled in survivors, measured
+    end-to-end from the kill and checked against the declared budget;
+  - **ledger**: the capacity book re-elects a leader within the
+    election bound, admissions in the no-leader window are refused
+    (never guessed), and no vcpu is ever double-committed;
+  - **durable re-adoption**: a checkpointed sweep owned by the victim
+    region resumes in the adopter from the *replicated* journal,
+    recomputing at most the work done after its last shipped
+    checkpoint.
+
+Run directly (``--quick`` for the CI smoke variant); writes
+``BENCH_multi_region.json``.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):       # script mode: python benchmarks/bench_...
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.harness import once, print_table
+from repro.broker import (
+    HealthMonitor,
+    LoadBalancer,
+    ManagedService,
+    PrivateFirstPolicy,
+    SessionTable,
+)
+from repro.cloud import (
+    MEDIUM,
+    AwsCloud,
+    ImageKind,
+    ImageStore,
+    MultiCloud,
+    OpenStackCloud,
+)
+from repro.durable import DurableSweep
+from repro.geo import GeoEstate
+from repro.hydrology.timeseries import TimeSeries
+from repro.perf.runner import EnsembleRunner
+from repro.resilience import ResilientClient
+from repro.sched import CapacityLedger, ShardedRouter
+from repro.services import Network, RestApi, RestServer
+from repro.services.transport import HttpRequest, HttpResponse
+from repro.sim import RandomStreams, Simulator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_FILE = REPO_ROOT / "BENCH_multi_region.json"
+
+#: Declared end-to-end budget from region kill to every evacuated
+#: session active in a survivor, simulated seconds.
+RTO_BUDGET = 30.0
+
+
+# -- arm 1: regions=1 is bit-identical to the classic stack ------------------
+
+
+def _snapshot(sessions) -> list:
+    return sorted(
+        (s.user_name, s.state.value,
+         s.instance.instance_id if s.instance else None,
+         s.wait_time)
+        for s in sessions)
+
+
+def _drive_plain_stack(users: int, horizon: float) -> list:
+    """The pre-geo single-region stack, hand-wired (the reference arm)."""
+    sim = Simulator()
+    streams = RandomStreams(seed=42)
+    private = OpenStackCloud(sim, total_vcpus=16, streams=streams)
+    public = AwsCloud(sim, streams=streams)
+    multi = MultiCloud()
+    multi.register_compute("private", private)
+    multi.register_compute("public", public)
+    network = Network(sim, streams=streams)
+    sessions = SessionTable(sim)
+    monitor = HealthMonitor(sim, interval=5.0, window=3)
+    ledger = CapacityLedger(sim)
+    lb = LoadBalancer(sim, multi, network, sessions, PrivateFirstPolicy(),
+                      monitor=monitor, autoscale_interval=10.0,
+                      shard_id=0, ledger=ledger)
+    router = ShardedRouter(sim, [lb], ledger=ledger, multicloud=multi)
+    image = ImageStore().create("portal", ImageKind.GENERIC, size_gb=1.0)
+    api = RestApi("portal")
+    api.get("/ping", lambda req, p: {"pong": True})
+    service = ManagedService(
+        name="portal", image=image, flavor=MEDIUM,
+        make_server=lambda inst: RestServer(sim, api, inst).bind(network),
+        sessions_per_replica=4, min_replicas=1, max_replicas=16)
+    router.manage(service)
+    sim.run(until=120.0)
+    created = [sessions.create(f"user-{i}") for i in range(users)]
+    for session in created:
+        router.submit_session(session, "portal")
+    sim.run(until=horizon)
+    return _snapshot(created)
+
+
+def _drive_geo_single(users: int, horizon: float) -> list:
+    """The same workload through ``GeoEstate(regions=1)``."""
+    estate = GeoEstate(regions=1, private_vcpus=16, seed=42)
+    estate.warm(until=120.0)
+    created = [estate.submit(f"user-{i}") for i in range(users)]
+    estate.sim.run(until=horizon)
+    return _snapshot(created)
+
+
+def run_identity_arm(users: int = 6, horizon: float = 240.0) -> dict:
+    plain = _drive_plain_stack(users, horizon)
+    geo = _drive_geo_single(users, horizon)
+    return {
+        "arm": "identity",
+        "users": users,
+        "horizon_s": horizon,
+        "identical": plain == geo,
+        "snapshot": [list(row) for row in plain],
+    }
+
+
+# -- arm 2: three regions, leader killed outright ----------------------------
+
+
+def run_region_kill_arm(users_per_region: int = 3,
+                        horizon: float = 700.0,
+                        kill_at: float = 220.0,
+                        outage: float = 200.0,
+                        replication_interval: float = 5.0,
+                        write_spacing: float = 2.0) -> dict:
+    estate = GeoEstate(regions=3, private_vcpus=24,
+                       replication_interval=replication_interval,
+                       election_ttl=8.0, election_check=1.0,
+                       failover_interval=2.0, seed=42)
+    estate.warm(until=150.0)
+    regions = estate.regions()
+    victim = estate.election.leader()
+    survivors = [r for r in regions if r != victim]
+
+    # live users in every region, each polling /v1/ping resiliently
+    sessions = []
+    for region in regions:
+        for i in range(users_per_region):
+            sessions.append(estate.submit(f"{region}-user-{i}",
+                                          origin=region))
+    estate.sim.run(until=170.0)
+    client = ResilientClient(estate.sim, estate.network, service="portal",
+                             streams=estate.streams, hedge=False)
+    finals = []
+
+    def poller(session):
+        while estate.sim.now < horizon - 30.0:
+            done = client.call(lambda: session.instance_address,
+                               HttpRequest("GET", "/v1/ping"),
+                               deadline=60.0)
+            outcome = yield done
+            if isinstance(outcome, HttpResponse):
+                finals.append((estate.sim.now, session.user_name,
+                               outcome.status))
+            else:   # timeout/refused after every retry: a user-visible loss
+                finals.append((estate.sim.now, session.user_name, 599))
+            yield 3.0
+
+    for session in sessions:
+        estate.sim.spawn(poller(session), name=f"poll.{session.user_name}")
+
+    # warehouse writes land in the victim until the moment it dies
+    acked = []
+
+    def writer():
+        k = 0
+        while estate.sim.now < kill_at:
+            estate.cells[victim].warehouse.put_series(
+                f"obs-{k}", TimeSeries(0.0, 1.0, [float(k)]))
+            acked.append((f"obs-{k}", estate.sim.now))
+            k += 1
+            yield write_spacing
+
+    estate.sim.spawn(writer(), name="bench.writer")
+
+    # a checkpointed durable sweep owned by the victim region; its
+    # journal (and checkpoint payloads) replicate with everything else
+    runner = EnsembleRunner(lambda p: {"peak": p["m"] * 2.0},
+                            model_id="geo-bench", forcing="storm")
+    sweep_params = [{"m": float(i)} for i in range(40)]
+    sweep = DurableSweep(runner, estate.cells[victim].journals, "geo-sweep",
+                         checkpoint_every=10, owner=f"exec-{victim}",
+                         lease_ttl=30.0)
+
+    def sweep_then_die():
+        yield 10.0      # journal writes start after the first sweep tick
+        sweep.run(sweep_params, interrupt_after=25)
+
+    estate.sim.spawn(sweep_then_die(), name="bench.sweep")
+
+    # the chaos schedule: kill the leader region, heal it later
+    estate.injector.region_outage_at(kill_at - estate.sim.now, victim,
+                                     duration=outage)
+    estate.sim.run(until=kill_at + 120.0)
+
+    report = estate.failover.reports[-1]
+    new_leader = estate.election.leader()
+    reelections = [e for e in estate.election.elections if e[0] > kill_at]
+
+    # RPO: youngest write the survivors actually hold
+    last_survived = None
+    for key, at in acked:
+        if all(_readable(estate, s, key) for s in survivors):
+            last_survived = (key, at)
+    rpo = (kill_at - last_survived[1]) if last_survived else float("inf")
+
+    # durable re-adoption: resume the sweep in the adopter from its
+    # replicated journal copy (the victim's store is gone)
+    adopter = report.adopter
+    resumed = DurableSweep(
+        EnsembleRunner(lambda p: {"peak": p["m"] * 2.0},
+                       model_id="geo-bench", forcing="storm"),
+        estate.cells[adopter].journals, "geo-sweep",
+        checkpoint_every=10, owner=f"exec-{adopter}", lease_ttl=30.0)
+    sweep_results = resumed.run(sweep_params)
+
+    estate.sim.run(until=horizon)
+
+    losses = [f for f in finals if f[2] >= 500]
+    return {
+        "arm": "region_kill",
+        "regions": regions,
+        "victim": victim,
+        "kill_at_s": kill_at,
+        "outage_s": outage,
+        "replication_interval_s": replication_interval,
+        "write_spacing_s": write_spacing,
+        "polls": len(finals),
+        "user_visible_5xx": len(losses),
+        "successful_polls": sum(1 for f in finals if f[2] < 500),
+        "writes_acked": len(acked),
+        "rpo_s": round(rpo, 3),
+        "rpo_bound_s": replication_interval + write_spacing,
+        # steady-state lag only: post-heal catch-up ships blobs whose
+        # age reflects the outage, not the replication cadence
+        "max_replication_lag_s": round(
+            max((r.lag for r in estate.replicator.shipped
+                 if r.time <= kill_at), default=0.0), 3),
+        "detection_s": round(report.detected_at - kill_at, 3),
+        "rto_s": (round(report.resettled_at - kill_at, 3)
+                  if report.resettled_at is not None else None),
+        "rto_budget_s": RTO_BUDGET,
+        "sessions_detached": report.sessions_detached,
+        "sessions_replaced": report.sessions_replaced,
+        "reelection_s": (round(reelections[0][0] - kill_at, 3)
+                         if reelections else None),
+        "reelection_bound_s": round(estate.election.reelection_bound, 3),
+        "new_leader": new_leader,
+        "leader_changed": new_leader != victim,
+        "term": estate.election.term,
+        "no_leader_refusals": estate.geo_ledger.no_leader_refusals,
+        "ledger_overcommits": estate.geo_ledger.overcommits,
+        "ledger_fenced": estate.geo_ledger.fenced,
+        "sweep_completed": (sweep_results is not None
+                            and len(sweep_results) == len(sweep_params)),
+        "sweep_resumed_from": resumed.resumed_from,
+        "runs_seen_by_coordinator": list(report.runs_recovered),
+        "region_restored": report.restored_at is not None,
+        "spillovers": estate.geo_router.spillovers,
+        "guard_sheds": sum(cell.guard.shed
+                           for cell in estate.cells.values()),
+    }
+
+
+def _readable(estate, region, key) -> bool:
+    try:
+        estate.cells[region].warehouse.get_series(key)
+        return True
+    except Exception:
+        return False
+
+
+# -- report ------------------------------------------------------------------
+
+
+def run_bench(quick: bool = False, write_artifact: bool = True):
+    if quick:
+        identity = run_identity_arm(users=4, horizon=200.0)
+        kill = run_region_kill_arm(users_per_region=2, horizon=560.0,
+                                   kill_at=200.0, outage=160.0)
+    else:
+        identity = run_identity_arm()
+        kill = run_region_kill_arm()
+
+    print_table(
+        "Multi-region estate under a whole-region kill",
+        ["measure", "value", "bound"],
+        [
+            ["regions=1 bit-identical", identity["identical"], "True"],
+            ["polls issued", kill["polls"], "-"],
+            ["user-visible 5xx", kill["user_visible_5xx"], "0"],
+            ["RPO (s)", kill["rpo_s"], kill["rpo_bound_s"]],
+            ["max replication lag (s)", kill["max_replication_lag_s"],
+             kill["replication_interval_s"]],
+            ["detection (s)", kill["detection_s"], "-"],
+            ["RTO (s)", kill["rto_s"], kill["rto_budget_s"]],
+            ["re-election (s)", kill["reelection_s"],
+             kill["reelection_bound_s"]],
+            ["ledger overcommits", kill["ledger_overcommits"], "0"],
+            ["no-leader refusals", kill["no_leader_refusals"], "-"],
+            ["sweep resumed from", kill["sweep_resumed_from"], ">0"],
+            ["region restored", kill["region_restored"], "True"],
+        ])
+
+    report = {"identity": identity, "region_kill": kill,
+              "quick": quick}
+    if write_artifact:
+        RESULT_FILE.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {RESULT_FILE}")
+    return identity, kill, report
+
+
+def check_report(identity: dict, kill: dict) -> list:
+    """The bench's claims; returns human-readable failures."""
+    failures = []
+    if not identity["identical"]:
+        failures.append("regions=1 estate diverged from the classic "
+                        "single-region stack")
+    if kill["polls"] == 0:
+        failures.append("no polls issued; the availability claim is vacuous")
+    if kill["user_visible_5xx"] != 0:
+        failures.append(f"{kill['user_visible_5xx']} user-visible 5xx "
+                        f"final outcomes under the region kill")
+    if kill["max_replication_lag_s"] > kill["replication_interval_s"]:
+        failures.append(f"steady-state replication lag "
+                        f"{kill['max_replication_lag_s']}s exceeds the "
+                        f"{kill['replication_interval_s']}s interval")
+    if kill["rpo_s"] > kill["rpo_bound_s"]:
+        failures.append(f"RPO {kill['rpo_s']}s exceeds the "
+                        f"{kill['rpo_bound_s']}s bound")
+    if kill["rto_s"] is None or kill["rto_s"] > kill["rto_budget_s"]:
+        failures.append(f"RTO {kill['rto_s']}s outside the "
+                        f"{kill['rto_budget_s']}s budget")
+    if not kill["leader_changed"] or kill["reelection_s"] is None:
+        failures.append("the ledger never re-elected after the leader "
+                        "region died")
+    elif kill["reelection_s"] > kill["reelection_bound_s"]:
+        failures.append(f"re-election took {kill['reelection_s']}s, "
+                        f"past the {kill['reelection_bound_s']}s bound")
+    if kill["ledger_overcommits"] != 0:
+        failures.append(f"{kill['ledger_overcommits']} double-committed "
+                        f"capacity admissions")
+    if kill["sessions_replaced"] != kill["sessions_detached"]:
+        failures.append("some evacuated sessions were never re-placed")
+    if not kill["sweep_completed"] or kill["sweep_resumed_from"] == 0:
+        failures.append("the durable sweep did not resume from the "
+                        "replicated checkpoint in the adopter")
+    if not kill["region_restored"]:
+        failures.append("the killed region never rejoined after healing")
+    return failures
+
+
+def test_multi_region_failover(benchmark):
+    # the pytest smoke must not clobber the committed full-run artifact
+    identity, kill, _ = once(
+        benchmark, lambda: run_bench(quick=True, write_artifact=False))
+    failures = check_report(identity, kill)
+    assert not failures, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="multi-region failover with bounded RPO/RTO")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: fewer users, shorter horizon")
+    args = parser.parse_args(argv)
+
+    identity, kill, _ = run_bench(quick=args.quick)
+    failures = check_report(identity, kill)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"\nOK: zero user-visible 5xx across {kill['polls']} polls, "
+              f"RPO {kill['rpo_s']}s <= {kill['rpo_bound_s']}s, "
+              f"RTO {kill['rto_s']}s <= {kill['rto_budget_s']}s, "
+              f"re-election in {kill['reelection_s']}s, "
+              f"0 double-commits, regions=1 bit-identical")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

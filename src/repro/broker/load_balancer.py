@@ -242,6 +242,14 @@ class LoadBalancer:
                 self.dispatcher.finish_submit_span(
                     session.session_id, error="session ended while waiting")
                 continue
+            if session.state.value != "waiting":
+                # already placed elsewhere (a geo failover re-placed it
+                # in a surviving region while this entry sat queued);
+                # assigning again would yank the user back
+                self._finish_place_span(session, session.instance)
+                self.dispatcher.finish_submit_span(
+                    session.session_id, error="session placed elsewhere")
+                continue
             session.assign(replica)
             self._finish_place_span(session, replica)
             self.dispatcher.finish_submit_span(

@@ -20,6 +20,15 @@ The durable-execution work adds infrastructure-level faults:
   simulated duration, then heals itself.
 * **heal** — undo a degrade/blackhole on an instance.
 
+The geo-distributed estate adds a region-scoped compound fault:
+
+* **region_outage** — everything in one registered region fails at
+  once: its instances crash, its blob stores go unavailable, its
+  providers refuse launches, and the network partitions its addresses
+  from every other region's.  :meth:`heal_region` undoes the network,
+  storage and control-plane parts (crashed instances stay dead — the
+  Load Balancer boots replacements once launches work again).
+
 Every injection is recorded as a structured :class:`InjectedFault` in
 :attr:`FaultInjector.injected` and emitted to the event log, so traces
 show exactly where chaos struck.
@@ -30,8 +39,8 @@ background process (``enable_random_crashes``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.cloud.instance import Instance, InstanceState
 from repro.cloud.provider import CloudProvider
@@ -60,6 +69,18 @@ class InjectedFault:
         return iter((self.time, self.kind, self.target, self.cause))
 
 
+@dataclass
+class _RegionBinding:
+    """The components the injector treats as one failure domain."""
+
+    region: str
+    providers: List[CloudProvider]
+    stores: List[BlobStore]
+    #: address pairs partitioned by the active outage (for healing)
+    partitions: List[Tuple[str, str]] = field(default_factory=list)
+    down: bool = False
+
+
 class FaultInjector:
     """Injects instance, network and storage faults.
 
@@ -78,6 +99,7 @@ class FaultInjector:
         self.network = network
         self.stores = dict(stores or {})
         self.injected: List[InjectedFault] = []
+        self._regions: Dict[str, _RegionBinding] = {}
 
     def _provider_of(self, instance: Instance) -> CloudProvider:
         for provider in self.providers:
@@ -186,6 +208,94 @@ class FaultInjector:
         store.set_fault("unavailable")
         self._record("outage", provider, f"{duration:.0f}s")
         self.sim.schedule(duration, self.heal_storage, provider)
+
+    # -- region-scoped faults ------------------------------------------------
+
+    def register_region(self, region: str, providers: List[CloudProvider],
+                        stores: Optional[List[BlobStore]] = None) -> None:
+        """Declare a failure domain for :meth:`region_outage`.
+
+        Providers/stores are merged into the injector's flat registries
+        too, so per-instance and per-store faults keep working on them.
+        """
+        if region in self._regions:
+            raise ValueError(f"region {region!r} already registered")
+        binding = _RegionBinding(region=region, providers=list(providers),
+                                 stores=list(stores or []))
+        self._regions[region] = binding
+        for provider in binding.providers:
+            if provider not in self.providers:
+                self.providers.append(provider)
+        for store in binding.stores:
+            self.stores.setdefault(store.name, store)
+
+    def _region(self, region: str) -> _RegionBinding:
+        try:
+            return self._regions[region]
+        except KeyError:
+            raise ValueError(f"region {region!r} not registered "
+                             f"(register_region first)") from None
+
+    def region_outage(self, region: str,
+                      duration: Optional[float] = None) -> None:
+        """Take a whole region down: partition + storage + instances.
+
+        With ``duration`` the region heals itself after that many
+        simulated seconds; otherwise it stays down until
+        :meth:`heal_region`.
+        """
+        binding = self._region(region)
+        if binding.down:
+            return
+        binding.down = True
+        inside = {p.name for p in binding.providers}
+        # 1. the region's addresses stop reaching every other region
+        if self.network is not None:
+            local = [inst.address for p in binding.providers
+                     for inst in p.instances() if not inst.is_gone]
+            remote = [inst.address for p in self.providers
+                      if p.name not in inside
+                      for inst in p.instances() if not inst.is_gone]
+            for a in local:
+                for b in remote:
+                    self.network.partition(a, b)
+                    binding.partitions.append((a, b))
+        # 2. its object storage goes unavailable
+        for store in binding.stores:
+            store.set_fault("unavailable")
+        # 3. its control planes refuse launches
+        for provider in binding.providers:
+            provider.set_launch_fault(f"region {region} outage")
+        # 4. its instances die
+        for provider in binding.providers:
+            for instance in list(provider.instances()):
+                if not instance.is_gone:
+                    self.crash(instance, cause=f"region {region} outage")
+        self._record("region_outage", region,
+                     "" if duration is None else f"{duration:.0f}s")
+        if duration is not None:
+            self.sim.schedule(duration, self.heal_region, region)
+
+    def heal_region(self, region: str) -> None:
+        """Restore a region's network, storage and control planes."""
+        binding = self._region(region)
+        if not binding.down:
+            return
+        binding.down = False
+        if self.network is not None:
+            for a, b in binding.partitions:
+                self.network.heal_partition(a, b)
+        binding.partitions.clear()
+        for store in binding.stores:
+            store.clear_fault()
+        for provider in binding.providers:
+            provider.clear_launch_fault()
+        self._record("heal_region", region)
+
+    def region_outage_at(self, delay: float, region: str,
+                         duration: Optional[float] = None) -> None:
+        """Schedule a region outage ``delay`` seconds from now."""
+        self.sim.schedule(delay, self.region_outage, region, duration)
 
     # -- background fault process --------------------------------------------
 

@@ -13,7 +13,7 @@ import itertools
 from typing import Dict, List, Optional
 
 from repro.cloud.billing import BillingMeter
-from repro.cloud.errors import InstanceNotFound, InvalidStateError
+from repro.cloud.errors import CloudError, InstanceNotFound, InvalidStateError
 from repro.cloud.flavors import Flavor
 from repro.cloud.images import MachineImage
 from repro.cloud.instance import Instance, InstanceState
@@ -33,6 +33,7 @@ class CloudProvider(abc.ABC):
         self.metrics = MetricsRegistry(sim, namespace=f"cloud.{name}")
         self._instances: Dict[str, Instance] = {}
         self._ids = itertools.count()
+        self._launch_fault: Optional[str] = None
 
     # -- contract -------------------------------------------------------------
 
@@ -54,6 +55,9 @@ class CloudProvider(abc.ABC):
         control runs synchronously so callers can catch capacity/quota
         errors and fall back to another provider (cloudbursting).
         """
+        if self._launch_fault is not None:
+            self.metrics.counter("launches.refused").increment()
+            raise CloudError(f"{self.name}: {self._launch_fault}")
         self._check_admission(flavor, project)
         instance_id = f"{self._id_prefix()}-{next(self._ids):04d}"
         instance = Instance(self.sim, instance_id, self.name, image, flavor)
@@ -71,6 +75,19 @@ class CloudProvider(abc.ABC):
 
         self.sim.schedule(self.boot_time(image), boot_done)
         return instance
+
+    def set_launch_fault(self, cause: str = "control plane unavailable") -> None:
+        """Refuse every launch with :class:`CloudError` until cleared.
+
+        The fault injector uses this to take a provider's control plane
+        down (a region outage keeps existing instances' fate separate
+        from the ability to boot replacements).
+        """
+        self._launch_fault = cause
+
+    def clear_launch_fault(self) -> None:
+        """Allow launches again."""
+        self._launch_fault = None
 
     def terminate(self, instance_id: str) -> None:
         """Terminate an instance; running jobs fail, billing stops."""

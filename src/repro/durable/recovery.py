@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.cloud.errors import StorageUnavailable
 from repro.durable import journal as j
 from repro.durable.state import RunState, replay
 from repro.obs.hub import obs_of
@@ -127,7 +128,20 @@ class RecoveryManager:
         detected = self.sim.now
         obs_of(self.sim).events.emit("durable.recover.triggered",
                                      instance=instance_id, verdict=verdict)
-        for state in self.owned_by(instance_id):
+        try:
+            owned = self.owned_by(instance_id)
+        except StorageUnavailable:
+            # the journal store itself is gone (e.g. a whole-region
+            # outage took the instance AND its blob store).  Nothing
+            # can be adopted from here; un-condemn so a retry after the
+            # store heals — or a surviving region working from its
+            # replicated journals — can still recover these runs.
+            self._condemned.discard(instance_id)
+            obs_of(self.sim).events.emit("durable.recover.deferred",
+                                         instance=instance_id,
+                                         reason="journal store unavailable")
+            return
+        for state in owned:
             if state.run_id in self._adopting:
                 continue
             self._adopting.add(state.run_id)
@@ -148,8 +162,15 @@ class RecoveryManager:
         lease = state.lease
         if lease is not None and lease.expires > self.sim.now:
             yield (lease.expires - self.sim.now) + LEASE_GRACE
-        fresh = replay(self.store.open(state.run_id).records(),
-                       run_id=state.run_id)
+        try:
+            fresh = replay(self.store.open(state.run_id).records(),
+                           run_id=state.run_id)
+        except StorageUnavailable:
+            # store faulted while we waited out the lease
+            self._adopting.discard(state.run_id)
+            report.error = "journal store unavailable"
+            span.finish(error=report.error)
+            return
         if not fresh.orphaned_at(self.sim.now):
             report.error = "no longer orphaned"
             span.finish()

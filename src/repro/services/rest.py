@@ -170,6 +170,14 @@ class RestApi:
         #: when set, mutating requests carrying an ``Idempotency-Key``
         #: header execute exactly once across every replica of this api.
         self.idempotency: Optional[Any] = None
+        #: Optional admission guard: a callable taking the request and
+        #: returning an :class:`HttpResponse` to answer with instead of
+        #: serving, or ``None`` to admit.  Runs after routing, before
+        #: any handler work — the geo layer installs one that sheds
+        #: ``/v1`` traffic with a problem-document ``503 Retry-After``
+        #: while the serving region is degraded and spillover saturated.
+        self.guard: Optional[Callable[[HttpRequest],
+                                      Optional[HttpResponse]]] = None
         describe = Route("GET", f"/{API_VERSION}", self._describe_api)
         self._routes.append(describe)
         self._canonical.append(describe)
@@ -295,6 +303,11 @@ class RestServer:
                              retryable=False)),
                 span)
             return done
+        if self.api.guard is not None:
+            denial = self.api.guard(request)
+            if denial is not None:
+                self._finish(done, denial, span, route)
+                return done
         ticket = self._admit_idempotent(done, request, route, span)
         if ticket is _REQUEST_ANSWERED:
             return done
