@@ -147,18 +147,22 @@ class LoadBalancer:
         """
         service = self._services[service_name]
         session.priority = priority
+        tenant = getattr(session, "tenant", None)
         span: Optional[Span] = None
         if session.trace_context is not None:
+            attributes = {"service": service_name,
+                          "session": session.session_id,
+                          "shard": self.shard_id,
+                          "class": priority.name.lower()}
+            if tenant is not None:
+                attributes["tenant"] = tenant
             span = obs_of(self.sim).tracer.start_span(
                 "lb.place", parent=session.trace_context, kind="placement",
-                attributes={"service": service_name,
-                            "session": session.session_id,
-                            "shard": self.shard_id,
-                            "class": priority.name.lower()})
+                attributes=attributes)
         replica = self._candidate_replica(service, priority)
         if replica is not None:
             session.assign(replica)
-            self.dispatcher.placed_now(service_name, priority)
+            self.dispatcher.placed_now(service_name, priority, tenant=tenant)
             self.metrics.recorder("session.wait").record(session.wait_time or 0.0)
             if span is not None:
                 span.set_attribute("instance", replica.instance_id)
@@ -167,14 +171,16 @@ class LoadBalancer:
             accepted = self.dispatcher.enqueue(
                 service_name, session, priority,
                 item_id=session.session_id,
-                trace_parent=session.trace_context)
+                trace_parent=session.trace_context,
+                tenant=tenant)
             if not accepted:
                 # the class queue is full: shed instead of queueing the
                 # lowest-value work forever (bounded-queue back-pressure)
                 self.metrics.counter("sched.shed").increment()
                 self._log("shed", session=session.session_id,
                           service=service_name,
-                          priority=priority.name.lower())
+                          priority=priority.name.lower(),
+                          tenant=tenant or "default")
                 if span is not None:
                     span.finish(error="shed: class queue full")
                 return
@@ -286,7 +292,8 @@ class LoadBalancer:
                           location=location)
                 continue
             if self.ledger is not None and \
-                    not self.ledger.admit(location, service.flavor.vcpus):
+                    not self.ledger.admit(location, service.flavor.vcpus,
+                                          tenant=service.tenant):
                 # the deployment-wide budget (all shards) is spent here
                 self.metrics.counter(
                     f"launch.quota_refused.{location}").increment()
@@ -311,7 +318,8 @@ class LoadBalancer:
         service.pending_launches += 1
         if self.ledger is not None:
             self.ledger.commit(chosen_location, service.flavor.vcpus,
-                               public=chosen_location == self.public_location)
+                               public=chosen_location == self.public_location,
+                               tenant=service.tenant)
         self._update_burst_state(chosen_location)
         self.metrics.counter(f"launch.{chosen_location}").increment()
         self._log("launch", service=service.name, location=chosen_location,
@@ -392,7 +400,8 @@ class LoadBalancer:
             return
         location = self.multicloud.location_of(instance, default="unknown")
         self.ledger.release(location, service.flavor.vcpus,
-                            public=location == self.public_location)
+                            public=location == self.public_location,
+                            tenant=service.tenant)
 
     def _migrate_sessions(self, source: Instance, service: ManagedService,
                           reason: str) -> None:
@@ -416,7 +425,9 @@ class LoadBalancer:
                 batch = [s for s in displaced
                          if (s.priority or PriorityClass.INTERACTIVE) == cls]
                 if batch:
-                    self.dispatcher.requeue_front(service.name, batch, cls)
+                    self.dispatcher.requeue_front(
+                        service.name, batch, cls,
+                        tenants=[getattr(s, "tenant", None) for s in batch])
 
     def drain(self, instance: Instance) -> Signal:
         """Gracefully retire one replica on operator request.

@@ -33,6 +33,9 @@ class ManagedService:
     flavor: Flavor
     make_server: Callable[[Instance], Any]
     purpose: str = "general"
+    #: owning tenant for capacity-ledger attribution (``None`` — the
+    #: common case — is the shared/default principal)
+    tenant: Optional[str] = None
     sessions_per_replica: int = 10
     min_replicas: int = 1
     max_replicas: int = 64

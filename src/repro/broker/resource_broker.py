@@ -44,27 +44,40 @@ class ResourceBroker:
         self.metrics = MetricsRegistry(sim, namespace="rb")
 
     def connect(self, user_name: str, service_name: str,
-                channel: Optional[Any] = None) -> UserSession:
+                channel: Optional[Any] = None,
+                tenant: Optional[str] = None) -> UserSession:
         """Open a session for ``user_name`` against ``service_name``.
 
         Establishes a WebSocket connection (unless the caller brings its
         own channel), creates the session, and submits it to the
         scheduling plane.  The assignment — immediate or after a boot —
-        arrives as a ``session.assign`` push on the channel.
+        arrives as a ``session.assign`` push on the channel.  ``tenant``
+        is the billing principal: it selects the session's weighted-fair
+        lane in the class queues and labels its trace.
         """
         if channel is None:
             channel = self.gateway.connect(user_name)
-        session = self.sessions.create(user_name, channel, purpose=service_name)
+        session = self.sessions.create(user_name, channel,
+                                       purpose=service_name, tenant=tenant)
         # the session span is the root of this user's journey trace; every
         # widget request and its server-side work nests beneath it
         hub = obs_of(self.sim)
+        attributes = {"user": user_name, "session": session.session_id}
+        if tenant is not None:
+            attributes["tenant"] = tenant
         span = hub.tracer.start_span(
             f"rb.session {service_name}", kind="session",
-            attributes={"user": user_name, "session": session.session_id})
+            attributes=attributes)
         session.trace_context = span.context
         session.trace_span = span
-        hub.events.emit("rb.connect", user=user_name, service=service_name,
-                        session=session.session_id)
+        if tenant is not None:
+            hub.events.emit("rb.connect", user=user_name,
+                            service=service_name,
+                            session=session.session_id, tenant=tenant)
+        else:
+            hub.events.emit("rb.connect", user=user_name,
+                            service=service_name,
+                            session=session.session_id)
         self.metrics.counter("connects").increment()
         if self.scheduler is not None:
             self.scheduler.submit_session(session, service_name)

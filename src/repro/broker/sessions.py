@@ -32,12 +32,17 @@ class UserSession:
     """One user's live attachment to the portal."""
 
     def __init__(self, sim: Simulator, user_name: str,
-                 channel: Optional[Any] = None, purpose: str = "general"):
+                 channel: Optional[Any] = None, purpose: str = "general",
+                 tenant: Optional[str] = None):
         self._sim = sim
         self.session_id = f"sess-{next(_session_ids):06d}"
         self.user_name = user_name
         self.channel = channel      # anything with .push(payload)
         self.purpose = purpose      # e.g. the model the user wants to run
+        # the principal this session bills to; None is the anonymous
+        # single-tenant default (kept a plain string: the session layer
+        # stays below the tenancy package)
+        self.tenant = tenant
         self.state = SessionState.WAITING
         self.created_at = sim.now
         self.assigned_at: Optional[float] = None
@@ -127,9 +132,11 @@ class SessionTable:
         self._sessions: Dict[str, UserSession] = {}
 
     def create(self, user_name: str, channel: Optional[Any] = None,
-               purpose: str = "general") -> UserSession:
+               purpose: str = "general",
+               tenant: Optional[str] = None) -> UserSession:
         """Open a new session in WAITING state."""
-        session = UserSession(self._sim, user_name, channel, purpose)
+        session = UserSession(self._sim, user_name, channel, purpose,
+                              tenant=tenant)
         self._sessions[session.session_id] = session
         return session
 

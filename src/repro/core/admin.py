@@ -67,6 +67,31 @@ class AdminConsole:
                     for s in evop.telemetry.slo_status()
                 ],
             })
+        tenancy: Dict[str, Any] = {"enabled": evop.tenants is not None}
+        if evop.tenants is not None:
+            depths = evop.sched.tenant_depths()
+            shed = evop.sched.shed_by_tenant()
+            inflight: Dict[str, int] = {}
+            for session in evop.sessions.active():
+                tenant = session.tenant or "default"
+                inflight[tenant] = inflight.get(tenant, 0) + 1
+            buckets = (evop.ratelimit.snapshot()["buckets"]
+                       if evop.ratelimit is not None else {})
+            per_tenant: Dict[str, Any] = {}
+            for tenant_id, policy in evop.tenants.snapshot().items():
+                per_tenant[tenant_id] = {
+                    "weight": policy["weight"],
+                    "served": policy["served"],
+                    "in_flight": inflight.get(tenant_id, 0),
+                    "queued": depths.get(tenant_id, 0),
+                    "shed": shed.get(tenant_id, 0),
+                    "bucket": buckets.get(tenant_id),
+                }
+            tenancy.update({
+                "fairness": round(evop.tenants.fairness(), 4),
+                "quota_committed": evop.ledger.committed_by_tenant(),
+                "tenants": per_tenant,
+            })
         return {
             "time": evop.sim.now,
             "instances": evop.instances_by_location(),
@@ -75,6 +100,7 @@ class AdminConsole:
                 "shards": evop.sched.shards,
                 "queue_depths": evop.sched.depths(),
             },
+            "tenancy": tenancy,
             "observability": observability,
             "services": services,
             "sessions": {
@@ -132,6 +158,18 @@ class AdminConsole:
                     f"verdict={replica['verdict']}")
         if snapshot["faults"]["detected"]:
             lines.append(f"faults detected: {snapshot['faults']['detected']}")
+        tenancy = snapshot["tenancy"]
+        if tenancy["enabled"]:
+            lines.append(f"tenants: fairness={tenancy['fairness']:.3f}")
+            for tenant_id, row in tenancy["tenants"].items():
+                bucket = row["bucket"]
+                fill = ("unlimited" if bucket is None
+                        else f"{bucket['fill']:.0f}/{bucket['burst']:.0f}")
+                lines.append(
+                    f"  {tenant_id:16s} w={row['weight']:g} "
+                    f"inflight={row['in_flight']} queued={row['queued']} "
+                    f"shed={row['shed']} served={row['served']:g} "
+                    f"bucket={fill}")
         obs = snapshot["observability"]
         if obs["enabled"]:
             lag = obs["scraper_lag"]

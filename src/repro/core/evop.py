@@ -188,6 +188,9 @@ class Evop:
         self.wps_services: Dict[str, Any] = {}
         self.telemetry: Optional[TelemetryPlane] = None
         self.dataplane: Optional[Any] = None
+        self.tenants: Optional[Any] = None
+        self.ratelimit: Optional[Any] = None
+        self.read_api: Optional[Any] = None
         self._bootstrapped = False
 
     # -- lifecycle ------------------------------------------------------------------
@@ -424,7 +427,9 @@ class Evop:
         from repro.services.readapi import build_read_api
         from repro.services.rest import RestServer
 
-        api = build_read_api(self.sim, self.dataplane)
+        api = build_read_api(self.sim, self.dataplane,
+                             tenants=self.tenants, limiter=self.ratelimit)
+        self.read_api = api
         read_image = self.images.create("read-host", ImageKind.GENERIC,
                                         size_gb=1.0)
 
@@ -441,6 +446,57 @@ class Evop:
             min_replicas=replicas,
         ))
         return service_name
+
+    # -- tenancy ------------------------------------------------------------------------
+
+    def enable_tenancy(self, registry: Optional[Any] = None,
+                       specs: Optional[List[Any]] = None,
+                       default_rate: Optional[float] = None,
+                       default_burst: Optional[float] = None,
+                       require_tenant: bool = False):
+        """Install the tenancy plane: registry, fair lanes, token buckets.
+
+        One :class:`~repro.tenancy.TenantRegistry` (built from ``specs``
+        unless an existing ``registry`` is handed in) becomes the single
+        source of truth across the layers:
+
+        * every shard Dispatcher starts weighting its per-class DRR
+          lanes by the registry's weights and crediting dequeues back
+          into its fairness accounting;
+        * the capacity ledger enforces each spec's ``vcpu_quota``;
+        * every deployed ``/v1`` API (WPS now, the read API when
+          :meth:`expose_read_api` runs) validates the ``Tenant`` header
+          and admits through a per-tenant token bucket — exhausted
+          buckets answer 429 with ``Retry-After``.
+
+        ``require_tenant`` makes the header mandatory (401 without it);
+        the default keeps anonymous traffic on the ``default`` tenant.
+        Idempotent: returns the existing registry on repeat calls.
+        """
+        if self.tenants is not None:
+            return self.tenants
+        from repro.tenancy import RateLimiter, TenantRegistry
+
+        if registry is None:
+            registry = TenantRegistry(specs=specs)
+        self.tenants = registry
+        self.ratelimit = RateLimiter(
+            self.sim, registry, default_rate=default_rate,
+            default_burst=default_burst, metrics=self.sched_metrics)
+        self.sched.attach_tenants(registry)
+        for spec in registry:
+            if spec.vcpu_quota is not None:
+                self.ledger.set_tenant_quota(spec.tenant_id,
+                                             spec.vcpu_quota)
+        for wps in self.wps_services.values():
+            wps.api.tenants = registry
+            wps.api.limiter = self.ratelimit
+            wps.api.require_tenant = require_tenant
+        if self.read_api is not None:
+            self.read_api.tenants = registry
+            self.read_api.limiter = self.ratelimit
+            self.read_api.require_tenant = require_tenant
+        return registry
 
     # -- observability ------------------------------------------------------------------
 

@@ -38,12 +38,16 @@ class GeoLedger:
     def __init__(self, sim: Simulator, election: LeaderElection,
                  topology: RegionTopology,
                  capacity: Optional[Dict[str, int]] = None,
-                 metrics=None):
+                 metrics=None,
+                 tenant_quotas: Optional[Dict[str, float]] = None):
         self.sim = sim
         self.election = election
         self.topology = topology
         self.capacity: Dict[str, int] = dict(capacity or {})
         self.metrics = metrics
+        #: per-tenant estate-wide vCPU caps, enforced by whichever
+        #: replica is leader (every replica carries the same quotas)
+        self.tenant_quotas: Dict[str, float] = dict(tenant_quotas or {})
         self._replicas: Dict[str, CapacityLedger] = {}
         #: admissions refused because no leader held a live lease
         self.no_leader_refusals = 0
@@ -62,7 +66,8 @@ class GeoLedger:
             raise ValueError(f"region {region!r} already has a replica")
         # replicas carry no metrics registry: three books recording the
         # same fact would triple-count every commit
-        replica = CapacityLedger(self.sim, capacity=self.capacity)
+        replica = CapacityLedger(self.sim, capacity=self.capacity,
+                                 tenant_quotas=self.tenant_quotas)
         self._replicas[region] = replica
         return replica
 
@@ -96,7 +101,8 @@ class GeoLedger:
 
     # -- decisions (leader only) ---------------------------------------------
 
-    def admit(self, location: str, vcpus: int) -> bool:
+    def admit(self, location: str, vcpus: int,
+              tenant: Optional[str] = None) -> bool:
         """Leader-decided admission against the global budget.
 
         ``location`` is a global label (``region/local``).  With no
@@ -109,32 +115,34 @@ class GeoLedger:
                                          location=location, vcpus=vcpus)
             return False
         leader, term = granted
-        return self.admit_as(leader, term, location, vcpus)
+        return self.admit_as(leader, term, location, vcpus, tenant=tenant)
 
     def admit_as(self, owner: str, term: int, location: str,
-                 vcpus: int) -> bool:
+                 vcpus: int, tenant: Optional[str] = None) -> bool:
         """An admission issued under an explicit grant (fenced)."""
         if not self._fresh(owner, term):
             return False
-        return self._replicas[owner].admit(location, vcpus)
+        return self._replicas[owner].admit(location, vcpus, tenant=tenant)
 
     # -- facts (fan out everywhere) ------------------------------------------
 
-    def commit(self, location: str, vcpus: int, public: bool = False) -> None:
+    def commit(self, location: str, vcpus: int, public: bool = False,
+               tenant: Optional[str] = None) -> None:
         """Record a launch in every reachable replica."""
         budget = self.capacity.get(location)
         for _, replica in self._live_replicas():
-            replica.commit(location, vcpus, public=public)
+            replica.commit(location, vcpus, public=public, tenant=tenant)
             if budget is not None and replica.committed(location) > budget:
                 self.overcommits += 1
                 obs_of(self.sim).events.emit(
                     "geo.ledger.overcommit", location=location,
                     committed=replica.committed(location), budget=budget)
 
-    def release(self, location: str, vcpus: int, public: bool = False) -> None:
+    def release(self, location: str, vcpus: int, public: bool = False,
+                tenant: Optional[str] = None) -> None:
         """Record a retirement in every reachable replica."""
         for _, replica in self._live_replicas():
-            replica.release(location, vcpus, public=public)
+            replica.release(location, vcpus, public=public, tenant=tenant)
 
     def _live_replicas(self) -> List[Tuple[str, CapacityLedger]]:
         return [(region, replica)
@@ -154,6 +162,14 @@ class GeoLedger:
         for _, replica in self._live_replicas():
             for location, vcpus in replica.snapshot().items():
                 merged[location] = max(merged.get(location, 0), vcpus)
+        return merged
+
+    def committed_by_tenant(self) -> Dict[str, int]:
+        """Per-tenant committed vCPUs (replica maximum, estate-wide)."""
+        merged: Dict[str, int] = {}
+        for _, replica in self._live_replicas():
+            for tenant, vcpus in replica.committed_by_tenant().items():
+                merged[tenant] = max(merged.get(tenant, 0), vcpus)
         return merged
 
     @property
@@ -183,21 +199,30 @@ class RegionLedgerHandle:
     def _global(self, location: str) -> str:
         return qualify(self.region, location)
 
-    def admit(self, location: str, vcpus: int) -> bool:
+    def admit(self, location: str, vcpus: int,
+              tenant: Optional[str] = None) -> bool:
         """Leader-decided admission for a local location."""
-        return self.geo.admit(self._global(location), vcpus)
+        return self.geo.admit(self._global(location), vcpus, tenant=tenant)
 
-    def commit(self, location: str, vcpus: int, public: bool = False) -> None:
+    def commit(self, location: str, vcpus: int, public: bool = False,
+               tenant: Optional[str] = None) -> None:
         """Record a local launch estate-wide."""
-        self.geo.commit(self._global(location), vcpus, public=public)
+        self.geo.commit(self._global(location), vcpus, public=public,
+                        tenant=tenant)
 
-    def release(self, location: str, vcpus: int, public: bool = False) -> None:
+    def release(self, location: str, vcpus: int, public: bool = False,
+                tenant: Optional[str] = None) -> None:
         """Record a local retirement estate-wide."""
-        self.geo.release(self._global(location), vcpus, public=public)
+        self.geo.release(self._global(location), vcpus, public=public,
+                         tenant=tenant)
 
     def committed(self, location: str) -> int:
         """Committed vCPUs at a local location."""
         return self.geo.committed(self._global(location))
+
+    def committed_by_tenant(self) -> Dict[str, int]:
+        """Per-tenant committed vCPUs (replica maximum, estate-wide)."""
+        return self.geo.committed_by_tenant()
 
     @property
     def bursting(self) -> bool:

@@ -36,6 +36,7 @@ from repro.sched.core import PriorityClass
 from repro.services.envelope import problem
 from repro.services.rest import API_VERSION
 from repro.services.transport import HttpRequest, HttpResponse
+from repro.tenancy.context import DEFAULT_TENANT, TENANT_HEADER
 from repro.sim import Simulator
 
 
@@ -188,6 +189,8 @@ class RegionGuard:
         self.region = region
         self.retry_after = retry_after
         self.shed = 0
+        #: sheds attributed to the billing principal that suffered them
+        self.shed_by_tenant: Dict[str, int] = {}
 
     def __call__(self, request: HttpRequest) -> Optional[HttpResponse]:
         if not request.path.startswith(f"/{API_VERSION}"):
@@ -198,13 +201,18 @@ class RegionGuard:
         if self.georouter.spillover_target(self.region) is not None:
             return None
         self.shed += 1
+        tenant = request.headers.get(TENANT_HEADER) or DEFAULT_TENANT
+        self.shed_by_tenant[tenant] = self.shed_by_tenant.get(tenant, 0) + 1
+        obs_of(self.georouter.sim).events.emit(
+            "geo.guard.shed", region=self.region, status=status.value,
+            path=request.path, tenant=tenant)
         body = problem(
             503, "region degraded",
             f"region {self.region} is {status.value} and no healthy "
             f"region can absorb spillover; retry after "
             f"{self.retry_after:.0f}s",
             retryable=True, type_slug="region-degraded",
-            region=self.region)
+            region=self.region, tenant=tenant)
         return HttpResponse(status=503, body=body,
                             headers={"Retry-After":
                                      f"{self.retry_after:.0f}"})

@@ -3,9 +3,11 @@
 The substrate everything places through.  A :class:`Dispatcher` owns one
 :class:`ClassedQueue` per managed service: three priority classes
 (interactive portal sessions ahead of workflow stages ahead of batch
-sweeps), FIFO within a class, optional per-class bounds that shed the
-lowest-value work instead of queueing it forever, and batch dequeue so a
-freshly booted replica can claim several waiters in one pass.
+sweeps), deficit-round-robin weighted-fair service across tenant lanes
+within a class (plain FIFO when only the default tenant exists),
+optional per-class bounds that shed the lowest-value work instead of
+queueing it forever, and batch dequeue so a freshly booted replica can
+claim several waiters in one pass.
 
 This module deliberately imports nothing from :mod:`repro.broker` — the
 broker's Load Balancer imports *it*, and the layering (broker, workflow
@@ -21,6 +23,7 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.obs.hub import obs_of
 from repro.sim import Simulator
+from repro.tenancy.context import DEFAULT_TENANT
 
 
 class PriorityClass(enum.IntEnum):
@@ -52,58 +55,164 @@ class PlacementPolicy:
         raise NotImplementedError
 
 
+class _DrrLanes:
+    """One priority class's deficit-round-robin state.
+
+    ``lanes`` holds a FIFO deque per tenant, ``active`` the round-robin
+    rotation of tenants with queued work, ``deficit`` each tenant's
+    accumulated service credit (in unit-cost items).
+    """
+
+    __slots__ = ("lanes", "active", "deficit")
+
+    def __init__(self):
+        self.lanes: Dict[str, Deque[Any]] = {}
+        self.active: Deque[str] = deque()
+        self.deficit: Dict[str, float] = {}
+
+    def depth(self) -> int:
+        return sum(len(lane) for lane in self.lanes.values())
+
+
 class ClassedQueue:
-    """Per-priority-class FIFO queues with optional bounds.
+    """Per-priority-class queues: FIFO per tenant, DRR across tenants.
 
     ``bounds`` maps a :class:`PriorityClass` to its maximum depth;
     classes without a bound queue without limit (the pre-refactor FIFO
     behaviour).  A push against a full class is *shed* — the caller is
     told, the shed counter ticks, and nothing is enqueued.
+
+    *Within* each class, dequeue is deficit round robin across tenant
+    lanes: each visit to the tenant at the head of the rotation adds
+    its ``weight`` to a deficit counter, one unit of deficit buys one
+    dequeue, and a weight-w tenant therefore gets w dequeues per round
+    while every lane stays backlogged.  Items pushed without a tenant
+    share the :data:`~repro.tenancy.context.DEFAULT_TENANT` lane; with
+    only that lane present every visit serves its head — byte-for-byte
+    the old single-principal FIFO.
     """
 
-    def __init__(self, bounds: Optional[Dict[PriorityClass, int]] = None):
-        self._queues: Dict[PriorityClass, Deque[Any]] = {
-            cls: deque() for cls in PriorityClass}
+    def __init__(self, bounds: Optional[Dict[PriorityClass, int]] = None,
+                 weights: Optional[Dict[str, float]] = None):
+        self._lanes: Dict[PriorityClass, _DrrLanes] = {
+            cls: _DrrLanes() for cls in PriorityClass}
         self._bounds: Dict[PriorityClass, int] = dict(bounds or {})
+        self._weights: Dict[str, float] = dict(weights or {})
         self.shed: Dict[PriorityClass, int] = {cls: 0 for cls in PriorityClass}
+        self.shed_by_tenant: Dict[str, int] = {}
+
+    # -- tenant policy -------------------------------------------------------
+
+    def set_weight(self, tenant: str, weight: float) -> None:
+        """Set a tenant's DRR quantum (service share per round)."""
+        if weight <= 0:
+            raise ValueError("tenant weight must be positive")
+        self._weights[tenant] = float(weight)
+
+    def weight_of(self, tenant: str) -> float:
+        return self._weights.get(tenant, 1.0)
+
+    # -- enqueue -------------------------------------------------------------
 
     def push(self, item: Any,
              priority: PriorityClass = PriorityClass.INTERACTIVE,
-             front: bool = False) -> bool:
+             front: bool = False, tenant: Optional[str] = None,
+             weight: Optional[float] = None) -> bool:
         """Enqueue ``item``; returns ``False`` if its class is full.
 
-        ``front`` re-enters the item at the *head* of its class queue —
-        the migration path: a displaced session has already waited its
-        turn once and must not queue behind fresh arrivals.
+        ``front`` re-enters the item at the *head* of its tenant's lane
+        — the migration path: a displaced session has already waited
+        its turn once and must not queue behind fresh arrivals.  Its
+        tenant is also promoted to the head of the rotation with enough
+        deficit for one immediate dequeue.
         """
-        queue = self._queues[priority]
+        tenant = tenant if tenant is not None else DEFAULT_TENANT
+        if weight is not None:
+            self.set_weight(tenant, weight)
+        state = self._lanes[priority]
         bound = self._bounds.get(priority)
-        if bound is not None and len(queue) >= bound and not front:
+        if bound is not None and state.depth() >= bound and not front:
             self.shed[priority] += 1
+            self.shed_by_tenant[tenant] = \
+                self.shed_by_tenant.get(tenant, 0) + 1
             return False
+        lane = state.lanes.get(tenant)
+        if lane is None:
+            lane = state.lanes[tenant] = deque()
+        if tenant not in state.deficit:
+            state.deficit[tenant] = 0.0
+        if not lane and tenant not in state.active:
+            if front:
+                state.active.appendleft(tenant)
+            else:
+                state.active.append(tenant)
         if front:
-            queue.appendleft(item)
+            lane.appendleft(item)
+            if state.active and state.active[0] != tenant:
+                state.active.remove(tenant)
+                state.active.appendleft(tenant)
+            state.deficit[tenant] = max(state.deficit[tenant], 1.0)
         else:
-            queue.append(item)
+            lane.append(item)
         return True
 
-    def push_front_many(self, items: List[Any],
-                        priority: PriorityClass) -> None:
+    def push_front_many(self, items: List[Any], priority: PriorityClass,
+                        tenants: Optional[List[Optional[str]]] = None
+                        ) -> None:
         """Re-enter ``items`` at the head, preserving their order."""
-        self._queues[priority].extendleft(reversed(items))
+        if tenants is None:
+            tenants = [None] * len(items)
+        for item, tenant in zip(reversed(items), reversed(tenants)):
+            self.push(item, priority, front=True, tenant=tenant)
+
+    # -- dequeue -------------------------------------------------------------
 
     def next_class(self) -> Optional[PriorityClass]:
         """The class the next :meth:`pop` will serve (``None`` if empty)."""
         for cls in PriorityClass:
-            if self._queues[cls]:
+            if self._lanes[cls].active:
                 return cls
         return None
 
+    def _pop_class(self, state: _DrrLanes) -> Tuple[Any, str]:
+        """One DRR dequeue from a class known to have queued work."""
+        while True:
+            tenant = state.active[0]
+            if state.deficit[tenant] < 1.0:
+                state.deficit[tenant] += self.weight_of(tenant)
+                if state.deficit[tenant] < 1.0:
+                    # a weight<1 lane keeps accruing across rounds and
+                    # is skipped until a full unit is banked
+                    state.active.rotate(-1)
+                    continue
+            lane = state.lanes[tenant]
+            item = lane.popleft()
+            state.deficit[tenant] -= 1.0
+            if not lane:
+                # an emptied lane leaves the rotation and forfeits its
+                # leftover deficit: credit never outlives a backlog
+                del state.lanes[tenant]
+                state.active.popleft()
+                state.deficit.pop(tenant, None)
+            elif state.deficit[tenant] < 1.0:
+                state.active.rotate(-1)
+            return item, tenant
+
     def pop(self) -> Optional[Tuple[Any, PriorityClass]]:
-        """Dequeue the highest-priority item, FIFO within its class."""
+        """Dequeue the highest-priority item, weighted-fair in class."""
+        entry = self.pop_ex()
+        if entry is None:
+            return None
+        item, cls, _ = entry
+        return item, cls
+
+    def pop_ex(self) -> Optional[Tuple[Any, PriorityClass, str]]:
+        """Like :meth:`pop` but also reports the served tenant."""
         for cls in PriorityClass:
-            if self._queues[cls]:
-                return self._queues[cls].popleft(), cls
+            state = self._lanes[cls]
+            if state.active:
+                item, tenant = self._pop_class(state)
+                return item, cls, tenant
         return None
 
     def pop_batch(self, count: int) -> List[Tuple[Any, PriorityClass]]:
@@ -116,16 +225,46 @@ class ClassedQueue:
             out.append(entry)
         return out
 
+    # -- introspection -------------------------------------------------------
+
     def depth(self, priority: Optional[PriorityClass] = None) -> int:
         """Queued items in one class, or in all classes."""
         if priority is not None:
-            return len(self._queues[priority])
-        return sum(len(q) for q in self._queues.values())
+            return self._lanes[priority].depth()
+        return sum(state.depth() for state in self._lanes.values())
 
     def counts(self) -> Dict[str, int]:
         """Depth per class, keyed by lowercase class name."""
-        return {cls.name.lower(): len(self._queues[cls])
+        return {cls.name.lower(): self._lanes[cls].depth()
                 for cls in PriorityClass}
+
+    def tenant_depths(self) -> Dict[str, int]:
+        """Queued items per tenant, across all classes."""
+        totals: Dict[str, int] = {}
+        for state in self._lanes.values():
+            for tenant, lane in state.lanes.items():
+                totals[tenant] = totals.get(tenant, 0) + len(lane)
+        return totals
+
+    def items(self, priority: PriorityClass) -> List[Any]:
+        """One class's queued items in projected service order.
+
+        Computed on a copy of the DRR state — peeking never perturbs
+        the deficits or the rotation.  With a single lane this is the
+        lane itself: the plain FIFO order.
+        """
+        state = self._lanes[priority]
+        if len(state.lanes) <= 1:
+            return [item for lane in state.lanes.values() for item in lane]
+        shadow = _DrrLanes()
+        shadow.lanes = {t: deque(lane) for t, lane in state.lanes.items()}
+        shadow.active = deque(state.active)
+        shadow.deficit = dict(state.deficit)
+        out: List[Any] = []
+        while shadow.active:
+            item, _ = self._pop_class(shadow)
+            out.append(item)
+        return out
 
     def __len__(self) -> int:
         return self.depth()
@@ -187,11 +326,16 @@ class Dispatcher:
 
     def __init__(self, sim: Simulator, shard_id: int = 0,
                  metrics=None,
-                 bounds: Optional[Dict[PriorityClass, int]] = None):
+                 bounds: Optional[Dict[PriorityClass, int]] = None,
+                 tenants=None):
         self.sim = sim
         self.shard_id = shard_id
         self.metrics = metrics
         self.bounds = dict(bounds or {})
+        #: optional :class:`~repro.tenancy.registry.TenantRegistry` —
+        #: the source of DRR weights and the sink of service accounting;
+        #: ``None`` keeps the single-principal FIFO path bit-identical
+        self.tenants = tenants
         self._queues: Dict[str, ClassedQueue] = {}
         #: open sched.submit spans per queued traceable item id
         self._submit_spans: Dict[str, Any] = {}
@@ -203,6 +347,10 @@ class Dispatcher:
         if service_name not in self._queues:
             self._queues[service_name] = ClassedQueue(bounds=self.bounds)
 
+    def attach_tenants(self, registry) -> None:
+        """Install the tenant registry (weights + fairness accounting)."""
+        self.tenants = registry
+
     def queue(self, service_name: str) -> ClassedQueue:
         """The class queue of one service."""
         return self._queues[service_name]
@@ -213,29 +361,40 @@ class Dispatcher:
                 priority: PriorityClass = PriorityClass.INTERACTIVE,
                 front: bool = False,
                 item_id: Optional[str] = None,
-                trace_parent=None) -> bool:
+                trace_parent=None,
+                tenant: Optional[str] = None) -> bool:
         """Queue ``item``; returns ``False`` when its class shed it.
 
         ``item_id``/``trace_parent`` open a ``sched.submit`` span that
         stays open for the queue wait; the span closes (with shard and
-        class attributes) when the item is dequeued or shed.
+        class attributes) when the item is dequeued or shed.  ``tenant``
+        selects the item's DRR lane (and stamps the shed event / span).
         """
+        weight = (self.tenants.weight_of(tenant)
+                  if self.tenants is not None and tenant is not None
+                  else None)
         accepted = self._queues[service_name].push(item, priority,
-                                                  front=front)
+                                                   front=front,
+                                                   tenant=tenant,
+                                                   weight=weight)
         self._count(f"enqueue.{priority.name.lower()}" if accepted
                     else f"shed.{priority.name.lower()}")
         if not accepted:
             obs_of(self.sim).events.emit(
                 "sched.shed", service=service_name, shard=self.shard_id,
-                priority=priority.name.lower())
+                priority=priority.name.lower(),
+                tenant=tenant if tenant is not None else DEFAULT_TENANT)
             return False
         if item_id is not None and trace_parent is not None:
+            attributes = {"service": service_name,
+                          "shard": self.shard_id,
+                          "class": priority.name.lower(),
+                          "queued": True}
+            if tenant is not None:
+                attributes["tenant"] = tenant
             span = obs_of(self.sim).tracer.start_span(
                 "sched.submit", parent=trace_parent, kind="sched",
-                attributes={"service": service_name,
-                            "shard": self.shard_id,
-                            "class": priority.name.lower(),
-                            "queued": True})
+                attributes=attributes)
             self._submit_spans[item_id] = span
         return True
 
@@ -246,23 +405,32 @@ class Dispatcher:
     def dequeue(self, service_name: str
                 ) -> Optional[Tuple[Any, PriorityClass]]:
         """Pop the next item in priority order (``None`` when empty)."""
-        entry = self._queues[service_name].pop()
-        if entry is not None:
-            self._count(f"place.{entry[1].name.lower()}")
-        return entry
+        entry = self._queues[service_name].pop_ex()
+        if entry is None:
+            return None
+        item, cls, tenant = entry
+        self._count(f"place.{cls.name.lower()}")
+        self._record_service(tenant)
+        return item, cls
 
     def dequeue_batch(self, service_name: str, count: int
                       ) -> List[Tuple[Any, PriorityClass]]:
         """Pop up to ``count`` items in priority order in one pass."""
-        entries = self._queues[service_name].pop_batch(count)
-        for _, cls in entries:
-            self._count(f"place.{cls.name.lower()}")
-        return entries
+        out: List[Tuple[Any, PriorityClass]] = []
+        while len(out) < count:
+            entry = self.dequeue(service_name)
+            if entry is None:
+                break
+            out.append(entry)
+        return out
 
     def requeue_front(self, service_name: str, items: List[Any],
-                      priority: PriorityClass) -> None:
+                      priority: PriorityClass,
+                      tenants: Optional[List[Optional[str]]] = None
+                      ) -> None:
         """Displaced items re-enter at the head of their class, in order."""
-        self._queues[service_name].push_front_many(items, priority)
+        self._queues[service_name].push_front_many(items, priority,
+                                                   tenants=tenants)
         self._count(f"requeue.{priority.name.lower()}", len(items))
 
     # -- bookkeeping ---------------------------------------------------------
@@ -277,9 +445,15 @@ class Dispatcher:
             span.set_attribute(key, value)
         span.finish(error=error)
 
-    def placed_now(self, service_name: str, priority: PriorityClass) -> None:
+    def placed_now(self, service_name: str, priority: PriorityClass,
+                   tenant: Optional[str] = None) -> None:
         """Record an immediate (queue-bypassing) placement."""
         self._count(f"place.{priority.name.lower()}")
+        self._record_service(tenant)
+
+    def _record_service(self, tenant: Optional[str]) -> None:
+        if self.tenants is not None:
+            self.tenants.record_service(tenant)
 
     def depth(self, service_name: str,
               priority: Optional[PriorityClass] = None) -> int:
@@ -292,12 +466,28 @@ class Dispatcher:
         return {name: queue.counts()
                 for name, queue in self._queues.items()}
 
+    def tenant_depths(self) -> Dict[str, int]:
+        """Queued items per tenant across all services and classes."""
+        totals: Dict[str, int] = {}
+        for queue in self._queues.values():
+            for tenant, n in queue.tenant_depths().items():
+                totals[tenant] = totals.get(tenant, 0) + n
+        return totals
+
     def shed_counts(self) -> Dict[str, int]:
         """Total sheds per class across all services."""
         totals = {cls.name.lower(): 0 for cls in PriorityClass}
         for queue in self._queues.values():
             for cls, n in queue.shed.items():
                 totals[cls.name.lower()] += n
+        return totals
+
+    def shed_by_tenant(self) -> Dict[str, int]:
+        """Total sheds per tenant across all services."""
+        totals: Dict[str, int] = {}
+        for queue in self._queues.values():
+            for tenant, n in queue.shed_by_tenant.items():
+                totals[tenant] = totals.get(tenant, 0) + n
         return totals
 
     def _count(self, name: str, by: int = 1) -> None:

@@ -34,46 +34,86 @@ class CapacityLedger:
 
     def __init__(self, sim: Simulator,
                  capacity: Optional[Dict[str, int]] = None,
-                 metrics=None):
+                 metrics=None,
+                 tenant_quotas: Optional[Dict[str, float]] = None):
         self.sim = sim
         self.capacity: Dict[str, int] = dict(capacity or {})
         self.metrics = metrics
+        #: optional per-tenant vCPU caps, estate-wide (all locations);
+        #: tenants without an entry are uncapped
+        self.tenant_quotas: Dict[str, float] = dict(tenant_quotas or {})
         self._committed: Dict[str, int] = {}
+        self._tenant_committed: Dict[str, int] = {}
         self._public_nodes = 0
         self.bursting = False
         self.refusals = 0
+        self.tenant_refusals = 0
+
+    def set_tenant_quota(self, tenant: str,
+                         vcpus: Optional[float]) -> None:
+        """Cap (or uncap, with ``None``) one tenant's committed vCPUs."""
+        if vcpus is None:
+            self.tenant_quotas.pop(tenant, None)
+        else:
+            self.tenant_quotas[tenant] = vcpus
 
     # -- admission -----------------------------------------------------------
 
-    def admit(self, location: str, vcpus: int) -> bool:
-        """Would committing ``vcpus`` at ``location`` stay in budget?"""
+    def admit(self, location: str, vcpus: int,
+              tenant: Optional[str] = None) -> bool:
+        """Would committing ``vcpus`` at ``location`` stay in budget?
+
+        Checks the location budget first, then — when the launch is
+        attributed to a tenant with a quota — that tenant's estate-wide
+        vCPU cap.
+        """
         budget = self.capacity.get(location)
-        if budget is None:
-            return True
-        if self._committed.get(location, 0) + vcpus <= budget:
-            return True
-        self.refusals += 1
-        self._count(f"refused.{location}")
-        obs_of(self.sim).events.emit("sched.quota.refused",
-                                     location=location, vcpus=vcpus,
-                                     committed=self._committed.get(location, 0))
-        return False
+        if budget is not None and \
+                self._committed.get(location, 0) + vcpus > budget:
+            self.refusals += 1
+            self._count(f"refused.{location}")
+            obs_of(self.sim).events.emit(
+                "sched.quota.refused",
+                location=location, vcpus=vcpus,
+                committed=self._committed.get(location, 0))
+            return False
+        quota = self.tenant_quotas.get(tenant) if tenant is not None else None
+        if quota is not None and \
+                self._tenant_committed.get(tenant, 0) + vcpus > quota:
+            self.refusals += 1
+            self.tenant_refusals += 1
+            self._count(f"refused.tenant.{tenant}")
+            obs_of(self.sim).events.emit(
+                "sched.quota.refused",
+                location=location, vcpus=vcpus, tenant=tenant,
+                committed=self._tenant_committed.get(tenant, 0),
+                quota=quota)
+            return False
+        return True
 
     # -- accounting ----------------------------------------------------------
 
-    def commit(self, location: str, vcpus: int, public: bool = False) -> None:
+    def commit(self, location: str, vcpus: int, public: bool = False,
+               tenant: Optional[str] = None) -> None:
         """Record a launch at ``location``."""
         self._committed[location] = self._committed.get(location, 0) + vcpus
         self._count(f"commit.{location}", vcpus)
+        if tenant is not None:
+            self._tenant_committed[tenant] = \
+                self._tenant_committed.get(tenant, 0) + vcpus
         if public:
             self._public_nodes += 1
             self._update_burst()
 
-    def release(self, location: str, vcpus: int, public: bool = False) -> None:
+    def release(self, location: str, vcpus: int, public: bool = False,
+                tenant: Optional[str] = None) -> None:
         """Record a retirement (or failed boot) at ``location``."""
         self._committed[location] = max(
             0, self._committed.get(location, 0) - vcpus)
         self._count(f"release.{location}", vcpus)
+        if tenant is not None:
+            self._tenant_committed[tenant] = max(
+                0, self._tenant_committed.get(tenant, 0) - vcpus)
         if public:
             self._public_nodes = max(0, self._public_nodes - 1)
             self._update_burst()
@@ -81,6 +121,10 @@ class CapacityLedger:
     def committed(self, location: str) -> int:
         """vCPUs currently committed at ``location``, across all shards."""
         return self._committed.get(location, 0)
+
+    def committed_by_tenant(self) -> Dict[str, int]:
+        """vCPUs currently committed per attributed tenant (a copy)."""
+        return dict(self._tenant_committed)
 
     def public_nodes(self) -> int:
         """Public-cloud nodes currently committed, across all shards."""

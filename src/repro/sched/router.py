@@ -84,6 +84,8 @@ class ShardedRouter:
             sim, namespace="sched")
         self._workflow_gate = InFlightGate(sim, workflow_inflight,
                                            name="sched.workflow")
+        #: tenancy registry shared by every shard (attach_tenants)
+        self.tenants: Optional[Any] = None
         #: service name -> shard ids hosting a slice of it
         self._service_shards: Dict[str, List[int]] = {}
 
@@ -178,6 +180,9 @@ class ShardedRouter:
         shard = self.shard_of(session.session_id, service_name)
         self.metrics.counter(
             f"submit.{priority.name.lower()}").increment()
+        tenant = getattr(session, "tenant", None)
+        if tenant is not None:
+            self.metrics.counter(f"submit.tenant.{tenant}").increment()
         self.lbs[shard].place_session(session, service_name,
                                       priority=priority)
         return shard
@@ -247,6 +252,35 @@ class ShardedRouter:
             yield span
         finally:
             span.finish()
+
+    # -- tenancy -------------------------------------------------------------
+
+    def attach_tenants(self, registry: Any) -> None:
+        """Install a tenancy registry on every shard dispatcher.
+
+        Each dispatcher starts weighting its DRR lanes by the
+        registry's per-tenant weights and reporting service back into
+        the registry's fairness accounting.
+        """
+        self.tenants = registry
+        for lb in self.lbs:
+            lb.dispatcher.attach_tenants(registry)
+
+    def tenant_depths(self) -> Dict[str, int]:
+        """Per-tenant waiting items, summed over shards and services."""
+        merged: Dict[str, int] = {}
+        for lb in self.lbs:
+            for tenant, depth in lb.dispatcher.tenant_depths().items():
+                merged[tenant] = merged.get(tenant, 0) + depth
+        return merged
+
+    def shed_by_tenant(self) -> Dict[str, int]:
+        """Sheds attributed per tenant, summed across the shards."""
+        merged: Dict[str, int] = {}
+        for lb in self.lbs:
+            for tenant, count in lb.dispatcher.shed_by_tenant().items():
+                merged[tenant] = merged.get(tenant, 0) + count
+        return merged
 
     # -- estate views --------------------------------------------------------
 

@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Optional, Tuple, Union
 from repro.resilience.client import ResilientClient
 from repro.services.transport import HttpRequest, HttpResponse, Network
 from repro.sim import Signal, Simulator
+from repro.tenancy.context import TENANT_HEADER
 
 AddressLike = Union[str, Callable[[], Optional[str]]]
 
@@ -39,12 +40,16 @@ class RestClient:
                  service: str = "rest",
                  trace: Any = None,
                  timeout: Optional[float] = None,
-                 deadline: Optional[float] = None):
+                 deadline: Optional[float] = None,
+                 tenant: Optional[str] = None):
         self.sim = sim
         self.address = address
         self.trace = trace
         self.timeout = timeout
         self.deadline = deadline
+        #: tenant identity stamped on every request (the ``Tenant``
+        #: header the /v1 boundary validates and rate-limits on)
+        self.tenant = tenant
         self.resilient = resilient or ResilientClient(sim, network,
                                                       service=service)
         self._etag_cache: Dict[str, Tuple[str, Any]] = {}
@@ -72,6 +77,8 @@ class RestClient:
         transient failures without risking duplicate effects.
         """
         request_headers = dict(headers or {})
+        if self.tenant is not None:
+            request_headers.setdefault(TENANT_HEADER, self.tenant)
         if idempotency_key is not None:
             request_headers.setdefault("Idempotency-Key", idempotency_key)
             if safe is None:

@@ -72,7 +72,12 @@ class Admission:
 
 
 class IdempotencyIndex:
-    """The durable per-key reservation/response table."""
+    """The durable per-``(tenant, key)`` reservation/response table.
+
+    Exactly-once is a *per-tenant* promise: tenants choose keys
+    independently, so the same ``Idempotency-Key`` from two tenants is
+    two unrelated requests and must never replay across the boundary.
+    """
 
     def __init__(self, sim: Simulator, container: Container,
                  pending_ttl: float = PENDING_TTL):
@@ -84,18 +89,29 @@ class IdempotencyIndex:
         self.takeovers = 0
 
     @staticmethod
-    def _key(key: str) -> str:
-        return f"idem/{content_key(key)}"
+    def _key(key: str, tenant: Optional[str] = None) -> str:
+        # Keys are tenant-scoped: the same Idempotency-Key from two
+        # tenants must never replay across the boundary.  The untenanted
+        # path keeps the pre-tenancy blob name bit-identical.
+        if tenant is None:
+            return f"idem/{content_key(key)}"
+        return f"idem/{content_key((tenant, key))}"
 
-    def _read(self, key: str) -> Optional[Dict[str, Any]]:
+    def _read(self, key: str,
+              tenant: Optional[str] = None) -> Optional[Dict[str, Any]]:
         try:
-            return self._container.get(self._key(key)).payload
+            return self._container.get(self._key(key, tenant)).payload
         except BlobNotFound:
             return None
 
-    def admit(self, key: str, fingerprint: str) -> Admission:
-        """Classify one attempt and, when fresh, reserve the key."""
-        record = self._read(key)
+    def admit(self, key: str, fingerprint: str,
+              tenant: Optional[str] = None) -> Admission:
+        """Classify one attempt and, when fresh, reserve the key.
+
+        ``tenant`` scopes the key: reservations, replays and conflicts
+        are all per ``(tenant, key)``.
+        """
+        record = self._read(key, tenant)
         if record is not None:
             if record["fingerprint"] != fingerprint:
                 self.conflicts += 1
@@ -110,7 +126,7 @@ class IdempotencyIndex:
             epoch = record["epoch"] + 1
         else:
             epoch = 0
-        self._container.put(self._key(key), {
+        self._container.put(self._key(key, tenant), {
             "state": "pending",
             "fingerprint": fingerprint,
             "epoch": epoch,
@@ -119,17 +135,18 @@ class IdempotencyIndex:
         return Admission(kind="fresh", epoch=epoch)
 
     def record(self, key: str, epoch: int, status: int, body: Any,
-               headers: Optional[Dict[str, str]] = None) -> bool:
+               headers: Optional[Dict[str, str]] = None,
+               tenant: Optional[str] = None) -> bool:
         """Store the final response for a fresh admission.
 
         Fenced: a stale executor (its reservation expired and was taken
         over) must not overwrite the new attempt's state.  Returns
         whether the response was stored.
         """
-        record = self._read(key)
+        record = self._read(key, tenant)
         if record is None or record["epoch"] != epoch:
             return False
-        self._container.put(self._key(key), {
+        self._container.put(self._key(key, tenant), {
             "state": "done",
             "fingerprint": record["fingerprint"],
             "epoch": epoch,
@@ -138,11 +155,11 @@ class IdempotencyIndex:
         })
         return True
 
-    def forget(self, key: str) -> None:
+    def forget(self, key: str, tenant: Optional[str] = None) -> None:
         """Drop a reservation (a failed attempt that should not pin the
         key — e.g. the handler never produced a recordable response)."""
         try:
-            self._container.delete(self._key(key))
+            self._container.delete(self._key(key, tenant))
         except BlobNotFound:
             pass
 

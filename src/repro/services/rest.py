@@ -40,6 +40,7 @@ from repro.services.envelope import problem
 from repro.services.idempotency import request_fingerprint
 from repro.services.transport import HttpRequest, HttpResponse, Network
 from repro.sim import Signal, Simulator
+from repro.tenancy.context import TENANT_HEADER, valid_tenant_id
 
 #: Default CPU cost (reference-core seconds) of a lightweight handler.
 DEFAULT_HANDLER_COST = 0.005
@@ -178,6 +179,20 @@ class RestApi:
         #: while the serving region is degraded and spillover saturated.
         self.guard: Optional[Callable[[HttpRequest],
                                       Optional[HttpResponse]]] = None
+        #: Optional :class:`~repro.tenancy.registry.TenantRegistry`;
+        #: when set, ``Tenant`` headers are validated at the boundary
+        #: (400 malformed, 403 unknown-in-strict-mode) and responses,
+        #: spans and RED metrics carry the tenant label.
+        self.tenants: Optional[Any] = None
+        #: Optional :class:`~repro.tenancy.ratelimit.RateLimiter`;
+        #: when set, each request spends a token from its tenant's
+        #: bucket and exhaustion answers 429 with ``Retry-After`` and
+        #: ``X-RateLimit-*`` headers before any handler work.
+        self.limiter: Optional[Any] = None
+        #: When True (and a registry is installed) requests without a
+        #: ``Tenant`` header are refused with 401 instead of running as
+        #: the anonymous default principal.
+        self.require_tenant: bool = False
         describe = Route("GET", f"/{API_VERSION}", self._describe_api)
         self._routes.append(describe)
         self._canonical.append(describe)
@@ -281,12 +296,24 @@ class RestServer:
         # client's view covers that failure mode)
         started = self.sim.now
         api_metrics = obs_of(self.sim).api_metrics.sub(self.api.name)
+        tenant_id: Optional[str] = None
 
         def metered():
             response = yield done
             api_metrics.counter("requests").increment()
             if response.status >= 500:
                 api_metrics.counter("errors").increment()
+            if tenant_id is not None:
+                # per-tenant RED series ride the same registry under
+                # brace-labeled names (the scraper's label convention)
+                api_metrics.counter(
+                    f"requests{{tenant={tenant_id}}}").increment()
+                if response.status >= 500:
+                    api_metrics.counter(
+                        f"errors{{tenant={tenant_id}}}").increment()
+                if response.status == 429:
+                    api_metrics.counter(
+                        f"throttled{{tenant={tenant_id}}}").increment()
             exemplar = None
             if span is not None:
                 exemplar = {"trace_id": span.trace_id, "t": self.sim.now,
@@ -303,12 +330,19 @@ class RestServer:
                              retryable=False)),
                 span)
             return done
+        tenant_id, denied = self._resolve_tenant(request)
+        if denied is not None:
+            self._finish(done, denied, span, route)
+            return done
+        if span is not None and tenant_id is not None:
+            span.set_attribute("tenant", tenant_id)
         if self.api.guard is not None:
             denial = self.api.guard(request)
             if denial is not None:
                 self._finish(done, denial, span, route)
                 return done
-        ticket = self._admit_idempotent(done, request, route, span)
+        ticket = self._admit_idempotent(done, request, route, span,
+                                        tenant_id)
         if ticket is _REQUEST_ANSWERED:
             return done
         job = Job(cost=route.cost, name=f"rest:{request.method}:{route.pattern}",
@@ -377,20 +411,78 @@ class RestServer:
         self.sim.spawn(waiter(), name=f"rest.wait.{self.api.name}")
         return done
 
+    def _resolve_tenant(self, request: HttpRequest
+                        ) -> Tuple[Optional[str], Optional[HttpResponse]]:
+        """Extract-and-validate the ``Tenant`` header at the boundary.
+
+        Returns ``(tenant_id, denial)``: a malformed header is a 400, an
+        unknown tenant under a strict registry a 403, a missing header
+        under ``require_tenant`` a 401, and an exhausted token bucket a
+        429 carrying ``Retry-After`` + ``X-RateLimit-*``.  With neither
+        registry nor limiter installed every request passes untouched —
+        the pre-tenancy path.
+        """
+        api = self.api
+        raw = request.headers.get(TENANT_HEADER)
+        if raw is None:
+            if api.require_tenant and api.tenants is not None:
+                return None, HttpResponse(status=401, body=problem(
+                    401, "tenant required",
+                    f"requests to {api.name} must carry a "
+                    f"{TENANT_HEADER} header",
+                    retryable=False, type_slug="tenant-required"))
+            if api.limiter is not None:
+                # anonymous traffic shares the default principal's
+                # bucket — an unlabelled flood is still a flood
+                decision = api.limiter.check(None)
+                if not decision.allowed:
+                    return None, self._throttled(decision)
+            return None, None
+        if not valid_tenant_id(raw):
+            return None, HttpResponse(status=400, body=problem(
+                400, "invalid tenant",
+                f"malformed {TENANT_HEADER} header {raw!r}",
+                retryable=False, type_slug="invalid-tenant"))
+        if api.tenants is not None and api.tenants.strict \
+                and not api.tenants.known(raw):
+            return None, HttpResponse(status=403, body=problem(
+                403, "unknown tenant",
+                f"tenant {raw!r} is not registered with {api.name}",
+                retryable=False, type_slug="unknown-tenant"))
+        if api.limiter is not None:
+            decision = api.limiter.check(raw)
+            if not decision.allowed:
+                return raw, self._throttled(decision)
+        return raw, None
+
+    @staticmethod
+    def _throttled(decision) -> HttpResponse:
+        body = problem(
+            429, "rate limit exceeded",
+            f"tenant {decision.tenant!r} exhausted its request budget; "
+            f"retry after {decision.retry_after:.0f}s",
+            retryable=True, type_slug="rate-limited",
+            tenant=decision.tenant)
+        return HttpResponse(status=429, body=body,
+                            headers=decision.headers())
+
     def _admit_idempotent(self, done: Signal, request: HttpRequest,
-                          route: Route, span: Optional[Span]):
+                          route: Route, span: Optional[Span],
+                          tenant: Optional[str] = None):
         """Classify a keyed mutating request before any work happens.
 
-        Returns the ``(key, epoch)`` ticket the final ``_finish`` must
-        record under, ``None`` when the request is unkeyed, or the
-        :data:`_REQUEST_ANSWERED` sentinel when the admission itself
-        produced the response (replay, conflict, in-flight)."""
+        Returns the ``(key, epoch, tenant)`` ticket the final
+        ``_finish`` must record under, ``None`` when the request is
+        unkeyed, or the :data:`_REQUEST_ANSWERED` sentinel when the
+        admission itself produced the response (replay, conflict,
+        in-flight).  Keys are tenant-scoped: the same key from two
+        tenants is two independent requests."""
         index = self.api.idempotency
         key = request.headers.get("Idempotency-Key")
         if index is None or not key or request.method == "GET":
             return None
         admission = index.admit(key, request_fingerprint(
-            request.method, request.path, request.body))
+            request.method, request.path, request.body), tenant=tenant)
         if admission.kind == "replay":
             stored = admission.response or {}
             headers = dict(stored.get("headers") or {})
@@ -414,7 +506,7 @@ class RestServer:
                 f"Idempotency-Key {key!r} has an attempt in flight",
                 retryable=True)), span, route)
             return _REQUEST_ANSWERED
-        return (key, admission.epoch)
+        return (key, admission.epoch, tenant)
 
     @staticmethod
     def _overloaded() -> HttpResponse:
@@ -454,18 +546,20 @@ class RestServer:
     def _finish(self, done: Signal, response: HttpResponse,
                 span: Optional[Span] = None,
                 route: Optional[Route] = None,
-                ticket: Optional[Tuple[str, int]] = None) -> None:
+                ticket: Optional[Tuple[str, int, Optional[str]]] = None
+                ) -> None:
         if ticket is not None and self.api.idempotency is not None:
-            key, epoch = ticket
+            key, epoch, tenant = ticket
             if response.status < 500:
                 # pin the outcome: every replay of this key now gets
                 # exactly this response without re-running the handler
                 self.api.idempotency.record(key, epoch, response.status,
-                                            response.body, response.headers)
+                                            response.body, response.headers,
+                                            tenant=tenant)
             else:
                 # the handler never completed usefully (5xx); release
                 # the reservation so a retry can execute fresh
-                self.api.idempotency.forget(key)
+                self.api.idempotency.forget(key, tenant=tenant)
         if route is not None and route.deprecated:
             # the legacy shim answers, but tells the client where to go
             response.headers.setdefault("Deprecation", "true")

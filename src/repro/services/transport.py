@@ -26,6 +26,7 @@ from repro.obs.context import extract_context, inject_context
 from repro.obs.hub import obs_of
 from repro.services.envelope import problem
 from repro.sim import RandomStreams, Signal, Simulator
+from repro.tenancy.context import TENANT_HEADER
 
 #: Approximate HTTP header block, bytes.
 HTTP_HEADER_BYTES = 220
@@ -185,10 +186,17 @@ class Network:
         # side continues the same trace.  Untraced traffic pays nothing.
         parent_context = extract_context(request.headers)
         if parent_context is not None:
+            attributes = {"address": address, "bytes": request_bytes}
+            # tenant baggage rides the headers exactly like traceparent;
+            # the client span carries the label so a trace is filterable
+            # by tenant at every hop
+            tenant = request.headers.get(TENANT_HEADER)
+            if tenant is not None:
+                attributes["tenant"] = tenant
             span = obs_of(self.sim).tracer.start_span(
                 f"http {request.method} {request.path}",
                 parent=parent_context, kind="client",
-                attributes={"address": address, "bytes": request_bytes})
+                attributes=attributes)
             inject_context(span.context, request.headers)
 
             def client_watch():

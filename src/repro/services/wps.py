@@ -33,6 +33,7 @@ from repro.services.rest import (
 )
 from repro.services.transport import HttpRequest
 from repro.sim import Simulator
+from repro.tenancy.context import TENANT_HEADER
 
 _execution_ids = itertools.count()
 
@@ -150,7 +151,8 @@ class WpsService:
     same container to every replica of the same service.
     """
 
-    def __init__(self, sim: Simulator, name: str, status_container: Container):
+    def __init__(self, sim: Simulator, name: str, status_container: Container,
+                 tenants=None, limiter=None, idempotency=None):
         self.sim = sim
         self.name = name
         self.status = status_container
@@ -158,6 +160,11 @@ class WpsService:
         self._outbox = None
         self._run_stream = "runs"
         self.api = RestApi(f"wps.{name}")
+        # the tenancy boundary and the idempotency index both guard the
+        # mutating execute path; all three are shared across replicas
+        self.api.tenants = tenants
+        self.api.limiter = limiter
+        self.api.idempotency = idempotency
         self.api.get("/wps", self._get_capabilities, cacheable=False)
         self.api.get("/wps/processes/{identifier}", self._describe_process)
         # Execute replays deterministically (same inputs, same outputs),
@@ -181,11 +188,14 @@ class WpsService:
     def _publish_run(self, run_id: str, process: str, status: str,
                      submitted_at: float,
                      finished_at: Optional[float] = None,
-                     outputs: Optional[Dict[str, Any]] = None) -> None:
+                     outputs: Optional[Dict[str, Any]] = None,
+                     tenant: Optional[str] = None) -> None:
         if self._outbox is None:
             return
         payload: Dict[str, Any] = {"process": process,
                                    "submittedAt": submitted_at}
+        if tenant is not None:
+            payload["tenant"] = tenant
         if finished_at is not None:
             payload["finishedAt"] = finished_at
         for key in RUN_SUMMARY_KEYS:
@@ -262,18 +272,20 @@ class WpsService:
             inputs = process.validate(body.get("inputs", {}))
         except HttpError as err:
             return err.status, err.to_problem()
+        tenant = request.headers.get(TENANT_HEADER)
         if mode == "sync":
-            return self._execute_sync(process, inputs)
+            return self._execute_sync(process, inputs, tenant=tenant)
         if mode == "async":
-            return self._execute_async(process, inputs)
+            return self._execute_async(process, inputs, tenant=tenant)
         return 400, problem(400, "unknown execute mode",
                             f"unknown mode {mode!r}", retryable=False)
 
-    def _execute_sync(self, process: WpsProcess, inputs: Dict[str, Any]):
+    def _execute_sync(self, process: WpsProcess, inputs: Dict[str, Any],
+                      tenant: Optional[str] = None):
         run_id = f"run-{next(_execution_ids):06d}"
         submitted_at = self.sim.now
         self._publish_run(run_id, process.identifier, "submitted",
-                          submitted_at)
+                          submitted_at, tenant=tenant)
         job = Job(cost=process.cost(inputs),
                   name=f"wps:{process.identifier}",
                   compute=lambda: process.execute(inputs))
@@ -281,22 +293,26 @@ class WpsService:
         def render(outputs):
             self._publish_run(run_id, process.identifier, "finished",
                               submitted_at, finished_at=self.sim.now,
-                              outputs=outputs)
+                              outputs=outputs, tenant=tenant)
             return 200, {"status": "succeeded", "runId": run_id,
                          "outputs": outputs}
 
         return RestDeferred(job=job, render=render)
 
-    def _execute_async(self, process: WpsProcess, inputs: Dict[str, Any]):
+    def _execute_async(self, process: WpsProcess, inputs: Dict[str, Any],
+                       tenant: Optional[str] = None):
         execution_id = f"exec-{next(_execution_ids):06d}"
         submitted_at = self.sim.now
-        self.status.put(execution_id, {
+        status_doc: Dict[str, Any] = {
             "status": "accepted",
             "process": process.identifier,
             "submitted_at": submitted_at,
-        })
+        }
+        if tenant is not None:
+            status_doc["tenant"] = tenant
+        self.status.put(execution_id, status_doc)
         self._publish_run(execution_id, process.identifier, "submitted",
-                          submitted_at)
+                          submitted_at, tenant=tenant)
 
         def run_and_record():
             try:
@@ -310,7 +326,7 @@ class WpsService:
                 })
                 self._publish_run(execution_id, process.identifier,
                                   "failed", submitted_at,
-                                  finished_at=self.sim.now)
+                                  finished_at=self.sim.now, tenant=tenant)
                 return None
             self.status.put(execution_id, {
                 "status": "succeeded",
@@ -320,7 +336,7 @@ class WpsService:
             })
             self._publish_run(execution_id, process.identifier, "finished",
                               submitted_at, finished_at=self.sim.now,
-                              outputs=outputs)
+                              outputs=outputs, tenant=tenant)
             return outputs
 
         job = Job(cost=process.cost(inputs),

@@ -401,8 +401,8 @@ def test_displaced_sessions_requeue_at_head_of_their_class():
     # drain the only replica: the old sessions are displaced with no
     # target and must re-enter *ahead* of the fresh arrivals
     plane.lb.drain(replica)
-    queued = list(plane.lb.dispatcher.queue("svc")._queues[
-        PriorityClass.INTERACTIVE])
+    queued = plane.lb.dispatcher.queue("svc").items(
+        PriorityClass.INTERACTIVE)
     assert [s.user_name for s in queued] == \
         ["old-0", "old-1", "fresh-0", "fresh-1"]
     plane.sim.run(until=900.0)      # a replacement replica boots
